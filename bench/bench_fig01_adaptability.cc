@@ -1,0 +1,35 @@
+// Fig. 1 — Adaptability under wired / cellular networks.
+// Link utilization and average delay for CUBIC, BBR, Orca, Proteus and
+// C-Libra across Wired#1-3 (24/48/96 Mbps) and LTE#1-3 (stationary / walking
+// / driving), 30 ms min RTT, 150 KB buffer.
+#include "bench/common.h"
+
+int main() {
+  using namespace libra;
+  using namespace libra::benchx;
+  header("Fig. 1", "adaptability: link utilization + avg delay per scenario");
+
+  const std::vector<std::string> ccas = {"cubic", "bbr", "orca", "proteus",
+                                         "c-libra"};
+  Table util({"scenario", "cubic", "bbr", "orca", "proteus", "c-libra"});
+  Table delay({"scenario", "cubic", "bbr", "orca", "proteus", "c-libra"});
+
+  for (const Scenario& base : fig1_scenarios()) {
+    Scenario s = base;
+    s.duration = sec(40);
+    std::vector<std::string> urow{s.name}, drow{s.name};
+    for (const std::string& name : ccas) {
+      Averaged a = average_runs(s, zoo().factory(name));
+      urow.push_back(fmt(a.link_utilization, 3));
+      drow.push_back(fmt(a.avg_delay_ms, 1));
+    }
+    util.add_row(urow);
+    delay.add_row(drow);
+  }
+
+  section("Link utilization (paper: Libra highest or tied in every column)");
+  util.print();
+  section("Avg delay, ms (paper: Libra far below CUBIC, near delay-based)");
+  delay.print();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 2(c) — Normalized CPU and memory overhead per CCA while driving a
+// 60-second cellular transfer. CPU = wall-clock time spent inside the CCA's
+// decision callbacks per simulated second (the analogue of the paper's iperf
+// CPU-utilization measurement); memory = the algorithm's resident state.
+#include "bench/common.h"
+
+int main() {
+  using namespace libra;
+  using namespace libra::benchx;
+  header("Fig. 2c", "normalized CPU / memory overhead per CCA");
+
+  Scenario s = lte_scenario(LteProfile::kStationary, "lte-stationary");
+  s.duration = sec(60);
+
+  const std::vector<std::string> ccas = {"cubic", "bbr",  "c-libra", "orca",
+                                         "indigo", "copa", "proteus"};
+  std::vector<double> cpu(ccas.size()), mem(ccas.size());
+  for (std::size_t i = 0; i < ccas.size(); ++i) {
+    auto meter = std::make_shared<OverheadMeter>();
+    CcaFactory inner = wide_zoo().factory(ccas[i]);
+    std::int64_t mem_bytes = 0;
+    auto net = run_scenario(
+        s,
+        {{[&] {
+          auto cca = inner();
+          mem_bytes = cca->memory_bytes();
+          return std::make_unique<MeteredCca>(std::move(cca), meter);
+        }}},
+        1);
+    cpu[i] = meter->cpu_per_sim_second(s.duration);
+    mem[i] = static_cast<double>(mem_bytes);
+  }
+
+  double cpu_max = *std::max_element(cpu.begin(), cpu.end());
+  double mem_max = *std::max_element(mem.begin(), mem.end());
+  Table t({"cca", "cpu (norm)", "mem (norm)", "cpu s/sim-s", "mem bytes"});
+  for (std::size_t i = 0; i < ccas.size(); ++i) {
+    t.add_row({ccas[i], fmt(cpu[i] / cpu_max, 3), fmt(mem[i] / mem_max, 3),
+               fmt(cpu[i], 6), fmt(mem[i], 0)});
+  }
+  section("Paper shape: learning-based CCAs dominate; Libra near its classic");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 7 — Average throughput vs average delay across 4 wired and 4 cellular
+// traces for the full CCA field. Paper shape: C-Libra / B-Libra sit in the
+// Pareto (top-right: high normalized throughput, low delay) region; pure
+// learned CCAs are scattered; Clean-Slate and Modified RL trail the real
+// Libras.
+#include "bench/common.h"
+
+namespace {
+
+void run_set(const std::vector<libra::Scenario>& set, const std::string& label) {
+  using namespace libra;
+  using namespace libra::benchx;
+
+  const std::vector<std::string> ccas = {
+      "proteus", "vivace",  "aurora",  "bbr",     "copa",        "cubic",
+      "sprout",  "remy",    "indigo",  "orca",    "modified-rl", "cl-libra",
+      "c-libra", "b-libra"};
+
+  // Normalize throughput by per-scenario capacity, as the paper does.
+  Table t({"cca", "norm. throughput", "avg delay (ms)"});
+  for (const std::string& name : ccas) {
+    double util_sum = 0, delay_sum = 0;
+    for (const Scenario& base : set) {
+      Scenario s = base;
+      s.duration = sec(40);
+      Averaged a = average_runs(s, zoo().factory(name), /*runs=*/2);
+      util_sum += a.link_utilization;
+      delay_sum += a.avg_delay_ms;
+    }
+    t.add_row({name, fmt(util_sum / set.size(), 3), fmt(delay_sum / set.size(), 1)});
+  }
+  section(label + " (paper: c-libra/b-libra Pareto-dominant region)");
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  using namespace libra;
+  using namespace libra::benchx;
+  header("Fig. 7", "throughput/delay scatter over wired and cellular sets");
+  run_set(wired_set(), "Four wired traces (12/24/48/96 Mbps)");
+  run_set(cellular_set(), "Four cellular traces");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fig. 9 — Impact of bottleneck buffer size (10 KB to 1 MB) on link
+// utilization and delay, 60 Mbps / 100 ms. Paper shape: CUBIC's utilization
+// and delay both climb with buffer depth (bufferbloat); Libra reaches >80%
+// utilization with only ~30 KB and stays delay-flat as the buffer deepens.
+#include "bench/common.h"
+
+int main() {
+  using namespace libra;
+  using namespace libra::benchx;
+  header("Fig. 9", "buffer-size sweep: utilization vs delay");
+
+  const std::vector<std::int64_t> buffers = {10'000,  30'000,  100'000,
+                                             300'000, 600'000, 1'000'000};
+  const std::vector<std::string> ccas = {"proteus", "bbr", "copa", "cubic",
+                                         "orca", "c-libra", "b-libra"};
+
+  for (const std::string& name : ccas) {
+    Table t({"buffer", "link util", "avg delay (ms)"});
+    CcaFactory factory = zoo().factory(name);
+    for (std::int64_t buf : buffers) {
+      Scenario s = wired_scenario(60, msec(100), buf);
+      s.duration = sec(30);
+      Averaged a = average_runs(s, factory, /*runs=*/2);
+      t.add_row({std::to_string(buf / 1000) + "KB", fmt(a.link_utilization, 3),
+                 fmt(a.avg_delay_ms, 1)});
+    }
+    section(name);
+    t.print();
+  }
+  return 0;
+}

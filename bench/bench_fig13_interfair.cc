@@ -1,0 +1,39 @@
+// Fig. 13 — Inter-protocol fairness: each CCA under test vs one CUBIC flow on
+// a 48 Mbps / 100 ms / 1 BDP bottleneck. Paper shape: Libra near the 0.5
+// optimal split (Jain > 98%); Aurora/Proteus either starve CUBIC or are
+// starved.
+#include "bench/common.h"
+
+#include "stats/fairness.h"
+
+int main() {
+  using namespace libra;
+  using namespace libra::benchx;
+  header("Fig. 13", "inter-protocol fairness vs CUBIC");
+
+  Scenario s = wired_scenario(48, msec(100), 48e6 / 8 * 0.1);
+  s.duration = sec(60);
+
+  const std::vector<std::string> ccas = {"cubic", "bbr",  "copa",    "aurora",
+                                         "proteus", "orca", "c-libra", "b-libra"};
+  Table t({"cca under test", "test share", "cubic share", "jain"});
+  for (const std::string& name : ccas) {
+    double test_share = 0, cubic_share = 0, jain = 0;
+    constexpr int kRuns = 2;
+    for (int r = 0; r < kRuns; ++r) {
+      auto net = run_scenario(
+          s, {{zoo().factory(name)}, {zoo().factory("cubic")}},
+          200 + static_cast<std::uint64_t>(r));
+      double a = net->flow(0).throughput_in(sec(20), sec(60));
+      double b = net->flow(1).throughput_in(sec(20), sec(60));
+      test_share += a / std::max(1.0, a + b);
+      cubic_share += b / std::max(1.0, a + b);
+      jain += jain_index({a, b});
+    }
+    t.add_row({name, fmt(test_share / kRuns, 3), fmt(cubic_share / kRuns, 3),
+               fmt(jain / kRuns, 3)});
+  }
+  section("Normalized shares (optimal 0.5/0.5; paper: libra jain > 0.98)");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 14 — Intra-protocol fairness: two flows of the same CCA share the
+// bottleneck. Paper shape: Libra ~99% Jain; pure learned CCAs visibly unfair.
+#include "bench/common.h"
+
+#include "stats/fairness.h"
+
+int main() {
+  using namespace libra;
+  using namespace libra::benchx;
+  header("Fig. 14", "intra-protocol fairness (two same-CCA flows)");
+
+  Scenario s = wired_scenario(48, msec(100), 48e6 / 8 * 0.1);
+  s.duration = sec(60);
+
+  const std::vector<std::string> ccas = {"cubic",   "bbr",  "copa",
+                                         "aurora",  "proteus", "modified-rl",
+                                         "orca",    "c-libra", "b-libra"};
+  Table t({"cca", "flow1 share", "flow2 share", "jain"});
+  for (const std::string& name : ccas) {
+    double s1 = 0, s2 = 0, jain = 0;
+    constexpr int kRuns = 2;
+    for (int r = 0; r < kRuns; ++r) {
+      CcaFactory factory = zoo().factory(name);
+      auto net = run_scenario(s, {{factory}, {factory}},
+                              300 + static_cast<std::uint64_t>(r));
+      double a = net->flow(0).throughput_in(sec(20), sec(60));
+      double b = net->flow(1).throughput_in(sec(20), sec(60));
+      s1 += a / std::max(1.0, a + b);
+      s2 += b / std::max(1.0, a + b);
+      jain += jain_index({a, b});
+    }
+    t.add_row({name, fmt(s1 / kRuns, 3), fmt(s2 / kRuns, 3), fmt(jain / kRuns, 3)});
+  }
+  section("Paper: libra ~0.99 jain; pure learned CCAs poor");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Microbenchmarks (google-benchmark): raw costs of the pieces the simulator
+// and controllers lean on — event-loop throughput, per-ACK costs of each CCA
+// family, PPO inference and update, utility evaluation, LTE trace synthesis.
+#include <benchmark/benchmark.h>
+
+#include "classic/bbr.h"
+#include "classic/cubic.h"
+#include "core/factory.h"
+#include "learned/libra_rl.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "stats/utility_fn.h"
+#include "trace/lte_model.h"
+
+namespace libra {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) q.schedule_at(i, [&sink] { ++sink; });
+    q.run_until(2000);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_SimulatedSecondCubic(benchmark::State& state) {
+  for (auto _ : state) {
+    LinkConfig cfg;
+    cfg.capacity = std::make_shared<ConstantTrace>(mbps(static_cast<double>(state.range(0))));
+    cfg.buffer_bytes = 150'000;
+    cfg.propagation_delay = msec(15);
+    Network net(std::move(cfg));
+    net.add_flow(std::make_unique<Cubic>());
+    net.run_until(sec(1));
+    benchmark::DoNotOptimize(net.flow(0).metrics().packets_acked);
+  }
+}
+BENCHMARK(BM_SimulatedSecondCubic)->Arg(10)->Arg(100);
+
+void BM_CubicOnAck(benchmark::State& state) {
+  Cubic cc;
+  AckEvent ev{msec(100), 1, msec(50), msec(50), 1500, 0, mbps(10), msec(50)};
+  for (auto _ : state) {
+    cc.on_ack(ev);
+    benchmark::DoNotOptimize(cc.cwnd_bytes());
+  }
+}
+BENCHMARK(BM_CubicOnAck);
+
+void BM_BbrOnAck(benchmark::State& state) {
+  Bbr cc;
+  AckEvent ev{msec(100), 1, msec(50), msec(50), 1500, 15000, mbps(10), msec(50)};
+  for (auto _ : state) {
+    cc.on_ack(ev);
+    benchmark::DoNotOptimize(cc.pacing_rate());
+  }
+}
+BENCHMARK(BM_BbrOnAck);
+
+void BM_PpoInference(benchmark::State& state) {
+  RlCcaConfig cfg = libra_rl_config();
+  auto hidden = static_cast<std::size_t>(state.range(0));
+  auto brain = std::make_shared<RlBrain>(
+      make_ppo_config(cfg, 3, {hidden, hidden}),
+      feature_frame_size(cfg.features));
+  Vector s(brain->agent.config().state_dim, 0.1);
+  for (auto _ : state) benchmark::DoNotOptimize(brain->agent.act_greedy(s));
+}
+BENCHMARK(BM_PpoInference)->Arg(64)->Arg(128)->Arg(512);
+
+void BM_PpoUpdate(benchmark::State& state) {
+  RlCcaConfig cfg = libra_rl_config();
+  auto brain = std::make_shared<RlBrain>(make_ppo_config(cfg, 3, {64, 64}),
+                                         feature_frame_size(cfg.features));
+  Vector s(brain->agent.config().state_dim, 0.1);
+  for (auto _ : state) {
+    // Fill one horizon and trigger the update on the next act().
+    for (std::size_t i = 0; i <= brain->agent.config().horizon; ++i) {
+      brain->agent.act(s);
+      brain->agent.give_reward(0.1);
+    }
+    benchmark::DoNotOptimize(brain->agent.update_count());
+  }
+}
+BENCHMARK(BM_PpoUpdate);
+
+void BM_UtilityEval(benchmark::State& state) {
+  UtilityParams p;
+  double x = 48.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(utility(p, x, 0.01, 0.001));
+    x += 1e-9;
+  }
+}
+BENCHMARK(BM_UtilityEval);
+
+void BM_LteTraceSynthesis(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto t = make_lte_trace(LteProfile::kDriving, sec(60), seed++);
+    benchmark::DoNotOptimize(t->rate_at(sec(30)));
+  }
+}
+BENCHMARK(BM_LteTraceSynthesis);
+
+}  // namespace
+}  // namespace libra
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Shared plumbing for the per-figure/table bench binaries.
+//
+// Every binary regenerates one table or figure from the paper's evaluation:
+// it prints the same rows/series the paper reports, produced by this repo's
+// simulator + CCA implementations. Absolute numbers differ from the authors'
+// testbed; the *shape* (who wins, by what factor, where crossovers fall) is
+// the reproduction target. EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/metered.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+#include "harness/zoo.h"
+
+namespace libra::benchx {
+
+/// Process-wide zoo: trains (or loads from ./brains) each RL policy once.
+inline CcaZoo& zoo() {
+  static CcaZoo instance{ZooConfig{}};
+  return instance;
+}
+
+/// Zoo with paper-scale (2x512) actor/critic networks — used by the overhead
+/// benches, where the model width is the quantity under measurement. Lightly
+/// trained: decision *cost* is architecture-determined, not policy-determined.
+inline CcaZoo& wide_zoo() {
+  static CcaZoo instance{ZooConfig{.brain_dir = "brains-w512",
+                                   .train_episodes = 30,
+                                   .hidden_width = 512}};
+  return instance;
+}
+
+/// Mean of per-seed run summaries (the paper averages 5 runs; we default 3).
+struct Averaged {
+  double link_utilization = 0;
+  double avg_delay_ms = 0;
+  double throughput_bps = 0;
+  double loss_rate = 0;
+};
+
+inline Averaged average_runs(const Scenario& scenario, const CcaFactory& factory,
+                             int runs = 3, SimDuration warmup = sec(2)) {
+  Averaged avg;
+  for (int r = 0; r < runs; ++r) {
+    RunSummary s = run_single(scenario, factory, 1000 + static_cast<std::uint64_t>(r),
+                              warmup);
+    avg.link_utilization += s.link_utilization;
+    avg.avg_delay_ms += s.avg_delay_ms;
+    avg.throughput_bps += s.total_throughput_bps;
+    avg.loss_rate += s.flows[0].loss_rate;
+  }
+  avg.link_utilization /= runs;
+  avg.avg_delay_ms /= runs;
+  avg.throughput_bps /= runs;
+  avg.loss_rate /= runs;
+  return avg;
+}
+
+inline void header(const std::string& id, const std::string& what) {
+  std::cout << "\n########################################################\n"
+            << "# " << id << " — " << what << "\n"
+            << "########################################################\n";
+}
+
+}  // namespace libra::benchx

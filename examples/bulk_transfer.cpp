@@ -1,0 +1,57 @@
+// Bulk replication over a lossy inter-continental path.
+//
+// Cloud-storage replication is throughput-oriented and crosses WAN paths with
+// non-congestive (stochastic) loss — exactly where loss-based CCAs collapse
+// (Fig. 10 / Fig. 16). Runs CUBIC, BBR and throughput-oriented C-Libra over
+// the synthetic inter-continental profile and reports effective transfer
+// time for a 100 MB object.
+#include <iostream>
+
+#include "core/factory.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+#include "harness/zoo.h"
+
+int main() {
+  using namespace libra;
+
+  std::cout << "bulk-transfer example: 100 MB replication over a lossy WAN\n";
+  CcaZoo zoo;
+  auto brain = zoo.brain("libra-rl");
+
+  Scenario wan = wan_inter_continental();
+  wan.duration = sec(60);
+
+  auto libra_factory = [&]() -> std::unique_ptr<CongestionControl> {
+    LibraParams p = c_libra_params();
+    p.utility = throughput_oriented(1);
+    return make_c_libra(brain, /*training=*/false, p);
+  };
+
+  struct Entry {
+    std::string label;
+    CcaFactory factory;
+  };
+  const std::vector<Entry> entries = {
+      {"cubic", zoo.factory("cubic")},
+      {"bbr", zoo.factory("bbr")},
+      {"c-libra (Th-1)", libra_factory},
+  };
+
+  constexpr double kObjectBytes = 100e6;
+  Table t({"cca", "goodput", "est. transfer time", "loss"});
+  for (const Entry& e : entries) {
+    RunSummary run = run_single(wan, e.factory, /*seed=*/11);
+    double goodput = run.total_throughput_bps;
+    double seconds = goodput > 0 ? kObjectBytes * 8 / goodput : 0;
+    t.add_row({e.label, fmt(goodput / 1e6, 1) + " Mbps", fmt(seconds, 0) + " s",
+               fmt_pct(run.flows[0].loss_rate, 1)});
+  }
+  t.print();
+
+  std::cout << "\nExpected shape: CUBIC is loss-limited (every stochastic drop\n"
+               "halves it); Libra's candidate evaluation cancels spurious\n"
+               "reductions and finishes the transfer first.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Command-line experiment runner: any scenario x any set of CCAs.
+//
+//   run_experiment [scenario] [seconds] [seed] [cca ...]
+//
+//   scenario: wired24|wired48|wired96|lte-stationary|lte-walking|lte-driving|
+//             step|wan-inter|wan-intra|satellite|5g          (default wired48)
+//   default CCAs: cubic bbr c-libra
+//
+// Example:
+//   ./run_experiment lte-driving 30 7 cubic bbr orca c-libra
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+#include "harness/zoo.h"
+
+namespace {
+
+libra::Scenario scenario_by_name(const std::string& name) {
+  using namespace libra;
+  if (name == "wired24") return wired_scenario(24);
+  if (name == "wired48") return wired_scenario(48);
+  if (name == "wired96") return wired_scenario(96);
+  if (name == "lte-stationary")
+    return lte_scenario(LteProfile::kStationary, "lte-stationary");
+  if (name == "lte-walking") return lte_scenario(LteProfile::kWalking, "lte-walking");
+  if (name == "lte-driving") return lte_scenario(LteProfile::kDriving, "lte-driving");
+  if (name == "step") return step_scenario();
+  if (name == "wan-inter") return wan_inter_continental();
+  if (name == "wan-intra") return wan_intra_continental();
+  if (name == "satellite") return satellite_scenario();
+  if (name == "5g") return fiveg_scenario();
+  throw std::invalid_argument("unknown scenario: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace libra;
+  try {
+    std::string scenario_name = argc > 1 ? argv[1] : "wired48";
+    if (scenario_name == "-h" || scenario_name == "--help") {
+      std::cout << "usage: run_experiment [scenario] [seconds] [seed] [cca ...]\n"
+                   "known CCAs:";
+      for (const auto& n : CcaZoo::all_names()) std::cout << ' ' << n;
+      std::cout << "\n";
+      return 0;
+    }
+    Scenario s = scenario_by_name(scenario_name);
+    if (argc > 2) s.duration = seconds(std::stod(argv[2]));
+    std::uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 1;
+    std::vector<std::string> ccas;
+    for (int i = 4; i < argc; ++i) ccas.emplace_back(argv[i]);
+    if (ccas.empty()) ccas = {"cubic", "bbr", "c-libra"};
+
+    CcaZoo zoo;
+    std::cout << "scenario=" << s.name << " duration=" << to_seconds(s.duration)
+              << "s seed=" << seed << "\n";
+    Table t({"cca", "throughput", "link util", "avg delay", "loss"});
+    for (const std::string& name : ccas) {
+      RunSummary run = run_single(s, zoo.factory(name), seed);
+      t.add_row({name, fmt(run.total_throughput_bps / 1e6, 2) + " Mbps",
+                 fmt_pct(run.link_utilization), fmt(run.avg_delay_ms, 1) + " ms",
+                 fmt_pct(run.flows[0].loss_rate, 2)});
+    }
+    t.print();
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n(try --help)\n";
+    return 1;
+  }
+}

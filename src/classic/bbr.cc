@@ -1,0 +1,165 @@
+#include "classic/bbr.h"
+
+#include <algorithm>
+
+namespace libra {
+
+namespace {
+constexpr double kProbeBwGains[] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+constexpr int kProbeBwPhases = 8;
+}  // namespace
+
+Bbr::Bbr(BbrParams params)
+    // The bw filter window is counted in rounds; we feed round_count_ as the
+    // "time" axis of the windowed filter.
+    : params_(params), max_bw_(params.bw_filter_rounds) {}
+
+void Bbr::on_packet_sent(const SendEvent& ev) {
+  last_sent_seq_ = ev.seq;
+  bytes_in_flight_ = ev.bytes_in_flight;
+}
+
+std::int64_t Bbr::bdp_bytes(double gain) const {
+  if (!max_bw_.valid() || min_rtt_ <= 0) return 10 * params_.mss;
+  double bdp = max_bw_.best() / 8.0 * to_seconds(min_rtt_);
+  return std::max<std::int64_t>(static_cast<std::int64_t>(gain * bdp),
+                                4 * params_.mss);
+}
+
+RateBps Bbr::pacing_rate() const {
+  RateBps bw = max_bw_.valid() ? max_bw_.best() : 0;
+  if (bw <= 0) {
+    // Before the first bandwidth sample: pace the initial window over a
+    // nominal 1 ms so STARTUP can begin aggressively but boundedly.
+    return mbps(10);
+  }
+  return pacing_gain_ * bw;
+}
+
+std::int64_t Bbr::cwnd_bytes() const {
+  if (mode_ == Mode::kProbeRtt) return 4 * params_.mss;
+  return bdp_bytes(params_.cwnd_gain);
+}
+
+void Bbr::update_min_rtt(SimTime now, SimDuration rtt) {
+  bool expired = min_rtt_ != 0 && now - min_rtt_stamp_ > params_.min_rtt_window;
+  // Strictly lower samples refresh the filter (kernel semantics: an equal
+  // sample must not keep postponing ProbeRTT forever).
+  if (min_rtt_ == 0 || rtt < min_rtt_) {
+    min_rtt_ = rtt;
+    min_rtt_stamp_ = now;
+    return;
+  }
+  if (!expired) return;
+  // The estimate has gone stale without being beaten: enter ProbeRTT to
+  // drain the pipe and revalidate, adopting the fresh sample meanwhile.
+  min_rtt_ = rtt;
+  min_rtt_stamp_ = now;
+  if (mode_ != Mode::kProbeRtt) {
+    mode_before_probe_rtt_ = mode_;
+    mode_ = Mode::kProbeRtt;
+    pacing_gain_ = 1.0;
+    probe_rtt_done_ = now + params_.probe_rtt_duration;
+  }
+}
+
+void Bbr::check_full_bandwidth() {
+  if (full_bw_reached_ || !round_start_ || !max_bw_.valid()) return;
+  if (max_bw_.best() >= full_bw_ * 1.25) {
+    full_bw_ = max_bw_.best();
+    full_bw_rounds_ = 0;
+    return;
+  }
+  if (++full_bw_rounds_ >= 3) full_bw_reached_ = true;
+}
+
+void Bbr::enter_probe_bw(SimTime now) {
+  mode_ = Mode::kProbeBw;
+  cycle_index_ = 2;  // start in a cruise phase, as the kernel does
+  cycle_stamp_ = now;
+  pacing_gain_ = kProbeBwGains[cycle_index_];
+}
+
+void Bbr::advance_cycle_phase(SimTime now, std::int64_t bytes_in_flight) {
+  bool advance = now - cycle_stamp_ > min_rtt_;
+  // Leave the 0.75 drain phase as soon as inflight has drained to the BDP.
+  if (cycle_index_ == 1 && bytes_in_flight <= bdp_bytes(1.0)) advance = true;
+  // Hold the 1.25 probe phase until it has lasted a full min_rtt.
+  if (advance) {
+    cycle_index_ = (cycle_index_ + 1) % kProbeBwPhases;
+    cycle_stamp_ = now;
+    pacing_gain_ = kProbeBwGains[cycle_index_];
+  }
+}
+
+void Bbr::on_ack(const AckEvent& ack) {
+  bytes_in_flight_ = ack.bytes_in_flight;
+
+  // Round accounting: a round trip ends when a packet sent after the previous
+  // round's end is acknowledged.
+  round_start_ = false;
+  if (ack.seq >= next_round_seq_) {
+    next_round_seq_ = last_sent_seq_ + 1;
+    ++round_count_;
+    round_start_ = true;
+  }
+
+  if (ack.delivery_rate > 0) {
+    max_bw_.update(ack.delivery_rate, static_cast<SimTime>(round_count_));
+  }
+  update_min_rtt(ack.now, ack.rtt);
+
+  switch (mode_) {
+    case Mode::kStartup:
+      check_full_bandwidth();
+      if (full_bw_reached_) {
+        mode_ = Mode::kDrain;
+        pacing_gain_ = params_.drain_gain;
+      } else {
+        pacing_gain_ = params_.startup_gain;
+      }
+      break;
+    case Mode::kDrain:
+      if (ack.bytes_in_flight <= bdp_bytes(1.0)) enter_probe_bw(ack.now);
+      break;
+    case Mode::kProbeBw:
+      check_full_bandwidth();
+      advance_cycle_phase(ack.now, ack.bytes_in_flight);
+      break;
+    case Mode::kProbeRtt:
+      if (ack.now >= probe_rtt_done_) {
+        min_rtt_stamp_ = ack.now;  // revalidated
+        if (mode_before_probe_rtt_ == Mode::kProbeBw || full_bw_reached_) {
+          enter_probe_bw(ack.now);
+        } else {
+          mode_ = Mode::kStartup;
+          pacing_gain_ = params_.startup_gain;
+        }
+      }
+      break;
+  }
+}
+
+void Bbr::on_loss(const LossEvent& loss) {
+  // BBR v1 does not treat individual losses as congestion; only a timeout
+  // (persistent blackout) conservatively resets the model.
+  if (loss.from_timeout) {
+    full_bw_ = 0;
+    full_bw_rounds_ = 0;
+  }
+}
+
+void Bbr::on_tick(SimTime now) {
+  // Exit a ProbeRTT that elapsed while no ACKs arrived (e.g. LTE outage).
+  if (mode_ == Mode::kProbeRtt && now >= probe_rtt_done_ && probe_rtt_done_ > 0) {
+    min_rtt_stamp_ = now;
+    if (mode_before_probe_rtt_ == Mode::kProbeBw || full_bw_reached_) {
+      enter_probe_bw(now);
+    } else {
+      mode_ = Mode::kStartup;
+      pacing_gain_ = params_.startup_gain;
+    }
+  }
+}
+
+}  // namespace libra

@@ -1,0 +1,79 @@
+// BBR v1 (Cardwell et al., 2017): model-based congestion control that paces
+// at pacing_gain x max-bandwidth and caps inflight at cwnd_gain x BDP.
+// Implements the full v1 state machine — STARTUP, DRAIN, PROBE_BW with the
+// 8-phase gain cycle, and PROBE_RTT — with round counting, the 10-round
+// bandwidth max-filter and the 10-second min-RTT filter.
+#pragma once
+
+#include "sim/congestion_control.h"
+#include "util/windowed_filter.h"
+
+namespace libra {
+
+struct BbrParams {
+  std::int64_t mss = kDefaultPacketBytes;
+  double startup_gain = 2.885;   // 2/ln2
+  double drain_gain = 1.0 / 2.885;
+  double cwnd_gain = 2.0;
+  int bw_filter_rounds = 10;
+  SimDuration min_rtt_window = sec(10);
+  SimDuration probe_rtt_duration = msec(200);
+};
+
+class Bbr final : public CongestionControl {
+ public:
+  enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };
+
+  explicit Bbr(BbrParams params = {});
+
+  void on_packet_sent(const SendEvent& ev) override;
+  void on_ack(const AckEvent& ack) override;
+  void on_loss(const LossEvent& loss) override;
+  void on_tick(SimTime now) override;
+
+  RateBps pacing_rate() const override;
+  std::int64_t cwnd_bytes() const override;
+  std::string name() const override { return "bbr"; }
+
+  Mode mode() const { return mode_; }
+  RateBps bottleneck_bw() const { return max_bw_.valid() ? max_bw_.best() : 0; }
+  SimDuration min_rtt() const { return min_rtt_; }
+  int probe_bw_phase() const { return cycle_index_; }
+
+ private:
+  void enter_probe_bw(SimTime now);
+  void advance_cycle_phase(SimTime now, std::int64_t bytes_in_flight);
+  void check_full_bandwidth();
+  void update_min_rtt(SimTime now, SimDuration rtt);
+  std::int64_t bdp_bytes(double gain) const;
+
+  BbrParams params_;
+  Mode mode_ = Mode::kStartup;
+
+  // Bandwidth filter, windowed over rounds.
+  WindowedMax<RateBps> max_bw_;
+  std::uint64_t round_count_ = 0;
+  std::uint64_t next_round_seq_ = 0;
+  std::uint64_t last_sent_seq_ = 0;
+  bool round_start_ = false;
+
+  // Min-RTT filter and ProbeRTT scheduling.
+  SimDuration min_rtt_ = 0;
+  SimTime min_rtt_stamp_ = 0;
+  SimTime probe_rtt_done_ = 0;
+
+  // STARTUP full-bandwidth detection.
+  RateBps full_bw_ = 0;
+  int full_bw_rounds_ = 0;
+  bool full_bw_reached_ = false;
+
+  // PROBE_BW gain cycling.
+  int cycle_index_ = 0;
+  SimTime cycle_stamp_ = 0;
+
+  double pacing_gain_ = 2.885;
+  std::int64_t bytes_in_flight_ = 0;
+  Mode mode_before_probe_rtt_ = Mode::kStartup;
+};
+
+}  // namespace libra

@@ -1,0 +1,91 @@
+// Compound TCP (Tan et al., INFOCOM 2006) — the classic *combined* CCA the
+// paper's related-work section contrasts Libra against: the congestion window
+// is the sum of a loss-based component (Reno-style) and a delay-based
+// component (Vegas-style dwnd) that grows aggressively while the queue is
+// empty and retreats as queueing delay builds.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "classic/loss_epoch.h"
+#include "sim/congestion_control.h"
+
+namespace libra {
+
+struct CompoundParams {
+  std::int64_t mss = kDefaultPacketBytes;
+  double alpha = 0.125;  // dwnd growth: alpha * win^k
+  double beta = 0.5;     // dwnd multiplicative decrease on deep queues
+  double k = 0.75;
+  double gamma = 30.0;   // queued-packet threshold for dwnd retreat
+};
+
+class CompoundTcp final : public CongestionControl {
+ public:
+  explicit CompoundTcp(CompoundParams params = {})
+      : params_(params), cwnd_(10 * params.mss), dwnd_(0),
+        ssthresh_(kInfiniteCwnd) {}
+
+  void on_packet_sent(const SendEvent& ev) override { epoch_.on_sent(ev.seq); }
+
+  void on_ack(const AckEvent& ack) override {
+    // Loss-based component: standard Reno growth.
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += params_.mss;
+    } else {
+      cwnd_ += params_.mss * params_.mss / std::max<std::int64_t>(cwnd_, params_.mss);
+    }
+
+    // Delay-based component, adjusted once per RTT.
+    if (last_adjust_ != 0 && ack.now - last_adjust_ < ack.rtt) return;
+    last_adjust_ = ack.now;
+    if (ack.min_rtt <= 0 || ack.rtt <= 0) return;
+
+    double win_pkts = static_cast<double>(window()) / params_.mss;
+    double expected = win_pkts / to_seconds(ack.min_rtt);
+    double actual = win_pkts / to_seconds(ack.rtt);
+    double diff = (expected - actual) * to_seconds(ack.min_rtt);  // queued pkts
+
+    if (diff < params_.gamma) {
+      // Queue small: grow the delay window polynomially (HSTCP-like).
+      double inc = std::max(1.0, params_.alpha * std::pow(win_pkts, params_.k));
+      dwnd_ += static_cast<std::int64_t>(inc * params_.mss);
+    } else {
+      // Standing queue: retreat so the compound window approaches cwnd.
+      dwnd_ = std::max<std::int64_t>(
+          0, dwnd_ - static_cast<std::int64_t>((diff - params_.gamma) *
+                                               static_cast<double>(params_.mss)));
+    }
+  }
+
+  void on_loss(const LossEvent& loss) override {
+    if (!epoch_.should_react(loss.seq)) return;
+    ssthresh_ = std::max<std::int64_t>(window() / 2, 2 * params_.mss);
+    cwnd_ = ssthresh_;
+    dwnd_ = static_cast<std::int64_t>(static_cast<double>(dwnd_) *
+                                      (1.0 - params_.beta));
+    if (loss.from_timeout) {
+      cwnd_ = params_.mss;
+      dwnd_ = 0;
+    }
+  }
+
+  RateBps pacing_rate() const override { return 0; }
+  std::int64_t cwnd_bytes() const override { return window(); }
+  std::string name() const override { return "compound"; }
+
+  std::int64_t delay_window() const { return dwnd_; }
+
+ private:
+  std::int64_t window() const { return cwnd_ + dwnd_; }
+
+  CompoundParams params_;
+  std::int64_t cwnd_;
+  std::int64_t dwnd_;
+  std::int64_t ssthresh_;
+  SimTime last_adjust_ = 0;
+  LossEpochTracker epoch_;
+};
+
+}  // namespace libra

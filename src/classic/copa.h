@@ -1,0 +1,84 @@
+// Copa (Arun & Balakrishnan, NSDI 2018): targets rate = 1/(delta * dq) where
+// dq is the standing queueing delay, moving cwnd toward the target with a
+// velocity parameter that doubles while the direction persists.
+#pragma once
+
+#include "classic/loss_epoch.h"
+#include "sim/congestion_control.h"
+#include "util/windowed_filter.h"
+
+namespace libra {
+
+struct CopaParams {
+  std::int64_t mss = kDefaultPacketBytes;
+  double delta = 0.5;  // 1/delta packets of standing queue at equilibrium
+};
+
+class Copa final : public CongestionControl {
+ public:
+  explicit Copa(CopaParams params = {})
+      : params_(params), cwnd_(10 * params.mss),
+        rtt_standing_(msec(100) /*placeholder; reset per srtt/2*/) {}
+
+  void on_packet_sent(const SendEvent& ev) override { epoch_.on_sent(ev.seq); }
+
+  void on_ack(const AckEvent& ack) override {
+    // Standing RTT: min over the last srtt/2 — rides below jitter but tracks
+    // the persistent queue.
+    rtt_standing_.update(ack.rtt, ack.now);
+
+    double dq = to_seconds(rtt_standing_.best() - ack.min_rtt);
+    double cwnd_pkts = static_cast<double>(cwnd_) / static_cast<double>(params_.mss);
+    double current_rate = cwnd_pkts / to_seconds(rtt_standing_.best());
+    double target_rate = dq > 1e-6 ? 1.0 / (params_.delta * dq)
+                                   : current_rate * 2.0;  // empty queue: grow
+
+    bool increase = current_rate <= target_rate;
+    update_velocity(increase, ack.now, ack.rtt);
+
+    double step = velocity_ * static_cast<double>(params_.mss) /
+                  (params_.delta * cwnd_pkts);
+    if (increase) {
+      cwnd_ += static_cast<std::int64_t>(step);
+    } else {
+      cwnd_ = std::max<std::int64_t>(
+          cwnd_ - static_cast<std::int64_t>(step), 2 * params_.mss);
+    }
+  }
+
+  void on_loss(const LossEvent& loss) override {
+    // Copa's default mode reacts to loss only mildly (it is delay-driven);
+    // on timeout collapse as a safety valve.
+    if (loss.from_timeout && epoch_.should_react(loss.seq)) {
+      cwnd_ = std::max<std::int64_t>(cwnd_ / 2, 2 * params_.mss);
+      velocity_ = 1.0;
+    }
+  }
+
+  RateBps pacing_rate() const override { return 0; }
+  std::int64_t cwnd_bytes() const override { return cwnd_; }
+  std::string name() const override { return "copa"; }
+
+ private:
+  void update_velocity(bool increase, SimTime now, SimDuration rtt) {
+    if (increase != last_direction_) {
+      velocity_ = 1.0;
+      last_direction_ = increase;
+      direction_since_ = now;
+    } else if (now - direction_since_ > 3 * rtt) {
+      // Direction persisted for 3 RTTs: accelerate.
+      velocity_ = std::min(velocity_ * 2.0, 64.0);
+      direction_since_ = now;
+    }
+  }
+
+  CopaParams params_;
+  std::int64_t cwnd_;
+  WindowedMin<SimDuration> rtt_standing_;
+  double velocity_ = 1.0;
+  bool last_direction_ = true;
+  SimTime direction_since_ = 0;
+  LossEpochTracker epoch_;
+};
+
+}  // namespace libra

@@ -1,0 +1,83 @@
+#include "classic/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace libra {
+
+Cubic::Cubic(CubicParams params)
+    : params_(params), cwnd_(10 * params.mss), ssthresh_(kInfiniteCwnd) {}
+
+void Cubic::set_cwnd_bytes(std::int64_t cwnd) {
+  // ssthresh is deliberately untouched: pre-loss, the algorithm must still be
+  // able to slow-start from the injected window.
+  cwnd_ = std::max<std::int64_t>(cwnd, 2 * params_.mss);
+  reset_epoch();
+}
+
+void Cubic::reset_epoch() {
+  epoch_start_ = -1;
+  ack_count_ = 0.0;
+}
+
+void Cubic::on_ack(const AckEvent& ack) {
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += params_.mss;
+    return;
+  }
+
+  const double cwnd_pkts = static_cast<double>(cwnd_) / static_cast<double>(params_.mss);
+  if (epoch_start_ < 0) {
+    epoch_start_ = ack.now;
+    if (w_max_ <= cwnd_pkts) {
+      // We are already past the previous saturation point; grow from here.
+      k_ = 0.0;
+      w_max_ = cwnd_pkts;
+    } else {
+      k_ = std::cbrt(w_max_ * (1.0 - params_.beta) / params_.c);
+    }
+    w_tcp_ = cwnd_pkts;
+    ack_count_ = 0.0;
+  }
+  ack_count_ += 1.0;
+
+  // Cubic target one RTT ahead of now (RFC 8312 s4.1).
+  double t = to_seconds(ack.now - epoch_start_ + ack.rtt);
+  double target = params_.c * std::pow(t - k_, 3.0) + w_max_;
+
+  // TCP-friendly region: emulate Reno's growth rate with beta-adjusted AI.
+  w_tcp_ += 3.0 * (1.0 - params_.beta) / (1.0 + params_.beta) / cwnd_pkts;
+  target = std::max(target, w_tcp_);
+
+  if (target > cwnd_pkts) {
+    // Spread the increase over the ACKs of one window.
+    double increase = (target - cwnd_pkts) / cwnd_pkts;
+    cwnd_ += static_cast<std::int64_t>(increase * static_cast<double>(params_.mss));
+  } else {
+    // Very slow growth in the concave plateau.
+    cwnd_ += static_cast<std::int64_t>(static_cast<double>(params_.mss) /
+                                       (100.0 * cwnd_pkts));
+  }
+}
+
+void Cubic::on_loss(const LossEvent& loss) {
+  if (!epoch_.should_react(loss.seq)) return;
+
+  const double cwnd_pkts = static_cast<double>(cwnd_) / static_cast<double>(params_.mss);
+  if (params_.fast_convergence && cwnd_pkts < w_max_) {
+    w_max_ = cwnd_pkts * (2.0 - params_.beta) / 2.0;
+  } else {
+    w_max_ = cwnd_pkts;
+  }
+
+  cwnd_ = std::max<std::int64_t>(
+      static_cast<std::int64_t>(static_cast<double>(cwnd_) * params_.beta),
+      2 * params_.mss);
+  ssthresh_ = cwnd_;
+  if (loss.from_timeout) {
+    cwnd_ = 2 * params_.mss;
+  }
+  reset_epoch();
+}
+
+}  // namespace libra

@@ -1,0 +1,53 @@
+// CUBIC congestion control (RFC 8312): cubic window growth around the last
+// congestion point, TCP-friendly region, fast convergence, beta = 0.7.
+#pragma once
+
+#include "classic/loss_epoch.h"
+#include "classic/window_adjustable.h"
+#include "sim/congestion_control.h"
+
+namespace libra {
+
+struct CubicParams {
+  double c = 0.4;        // cubic scaling constant (window in MSS, time in s)
+  double beta = 0.7;     // multiplicative-decrease factor
+  bool fast_convergence = true;
+  std::int64_t mss = kDefaultPacketBytes;
+};
+
+class Cubic final : public CongestionControl, public WindowAdjustable {
+ public:
+  explicit Cubic(CubicParams params = {});
+
+  void on_packet_sent(const SendEvent& ev) override { epoch_.on_sent(ev.seq); }
+  void on_ack(const AckEvent& ack) override;
+  void on_loss(const LossEvent& loss) override;
+
+  RateBps pacing_rate() const override { return 0; }
+  std::int64_t cwnd_bytes() const override { return cwnd_; }
+  std::string name() const override { return "cubic"; }
+
+  double w_max_packets() const { return w_max_; }
+
+  /// Overwrites the congestion window and restarts the cubic epoch from it —
+  /// the hook two-level schemes (Orca) use to apply DRL decisions on top of
+  /// kernel CUBIC.
+  void set_cwnd_bytes(std::int64_t cwnd) override;
+
+ private:
+  void reset_epoch();
+
+  CubicParams params_;
+  std::int64_t cwnd_;
+  std::int64_t ssthresh_;
+  LossEpochTracker epoch_;
+
+  // Cubic epoch state (windows in packets, time in seconds).
+  double w_max_ = 0.0;
+  double k_ = 0.0;
+  SimTime epoch_start_ = -1;
+  double w_tcp_ = 0.0;         // TCP-friendly reference window
+  double ack_count_ = 0.0;
+};
+
+}  // namespace libra

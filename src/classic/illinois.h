@@ -1,0 +1,86 @@
+// TCP Illinois: loss-based AIMD whose additive-increase alpha shrinks and
+// multiplicative-decrease beta grows as measured queueing delay rises, giving
+// concave-friendly behaviour on high-BDP wired paths (paper Sec. 7 lists it
+// as a drop-in classic component for Libra).
+#pragma once
+
+#include <algorithm>
+
+#include "classic/loss_epoch.h"
+#include "sim/congestion_control.h"
+
+namespace libra {
+
+struct IllinoisParams {
+  std::int64_t mss = kDefaultPacketBytes;
+  double alpha_max = 10.0;
+  double alpha_min = 0.3;
+  double beta_min = 0.125;
+  double beta_max = 0.5;
+  double delay_threshold = 0.01;  // fraction of max delay below which alpha_max
+};
+
+class Illinois final : public CongestionControl {
+ public:
+  explicit Illinois(IllinoisParams params = {})
+      : params_(params), cwnd_(10 * params.mss), ssthresh_(kInfiniteCwnd) {}
+
+  void on_packet_sent(const SendEvent& ev) override { epoch_.on_sent(ev.seq); }
+
+  void on_ack(const AckEvent& ack) override {
+    if (ack.rtt > max_rtt_) max_rtt_ = ack.rtt;
+    avg_rtt_ += (static_cast<double>(ack.rtt) - avg_rtt_) / 16.0;
+
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += params_.mss;
+      return;
+    }
+
+    double da = std::max(0.0, avg_rtt_ - static_cast<double>(ack.min_rtt));
+    double dm = std::max(1.0, static_cast<double>(max_rtt_ - ack.min_rtt));
+    double d_frac = da / dm;
+
+    // alpha: alpha_max when the queue is (nearly) empty, hyperbolic decay to
+    // alpha_min as queueing delay approaches its historical maximum.
+    double alpha;
+    if (d_frac <= params_.delay_threshold) {
+      alpha = params_.alpha_max;
+    } else {
+      double k1 = (params_.delay_threshold * params_.alpha_min * params_.alpha_max) /
+                  (params_.alpha_max - params_.alpha_min);
+      alpha = std::clamp(k1 / (d_frac + k1 / params_.alpha_max - params_.delay_threshold),
+                         params_.alpha_min, params_.alpha_max);
+    }
+    beta_ = std::clamp(params_.beta_min + d_frac * (params_.beta_max - params_.beta_min) / 0.8,
+                       params_.beta_min, params_.beta_max);
+
+    // Additive increase of `alpha` packets per RTT.
+    cwnd_ += static_cast<std::int64_t>(alpha * static_cast<double>(params_.mss) *
+                                       static_cast<double>(params_.mss) /
+                                       static_cast<double>(cwnd_));
+  }
+
+  void on_loss(const LossEvent& loss) override {
+    if (!epoch_.should_react(loss.seq)) return;
+    cwnd_ = std::max<std::int64_t>(
+        static_cast<std::int64_t>(static_cast<double>(cwnd_) * (1.0 - beta_)),
+        2 * params_.mss);
+    ssthresh_ = cwnd_;
+    if (loss.from_timeout) cwnd_ = 2 * params_.mss;
+  }
+
+  RateBps pacing_rate() const override { return 0; }
+  std::int64_t cwnd_bytes() const override { return cwnd_; }
+  std::string name() const override { return "illinois"; }
+
+ private:
+  IllinoisParams params_;
+  std::int64_t cwnd_;
+  std::int64_t ssthresh_;
+  double avg_rtt_ = 0.0;
+  SimDuration max_rtt_ = 0;
+  double beta_ = 0.5;
+  LossEpochTracker epoch_;
+};
+
+}  // namespace libra

@@ -1,0 +1,32 @@
+// Once-per-congestion-epoch reaction tracking shared by the loss-based CCAs:
+// a window reduction applies to the whole flight that was outstanding when
+// congestion was detected, so further losses from that same flight must not
+// trigger further reductions.
+#pragma once
+
+#include <cstdint>
+
+namespace libra {
+
+class LossEpochTracker {
+ public:
+  void on_sent(std::uint64_t seq) { highest_sent_ = seq; }
+
+  /// True if the lost packet belongs to a new congestion epoch (i.e. it was
+  /// sent after the last reduction); marks the epoch consumed when so.
+  bool should_react(std::uint64_t lost_seq) {
+    if (have_epoch_ && lost_seq <= epoch_end_seq_) return false;
+    epoch_end_seq_ = highest_sent_;
+    have_epoch_ = true;
+    return true;
+  }
+
+  void reset() { have_epoch_ = false; epoch_end_seq_ = 0; }
+
+ private:
+  std::uint64_t highest_sent_ = 0;
+  std::uint64_t epoch_end_seq_ = 0;
+  bool have_epoch_ = false;
+};
+
+}  // namespace libra

@@ -1,0 +1,44 @@
+// TCP NewReno (RFC 5681/6582 semantics at packet granularity): slow start,
+// AIMD congestion avoidance, multiplicative decrease once per loss epoch.
+#pragma once
+
+#include "classic/loss_epoch.h"
+#include "sim/congestion_control.h"
+
+namespace libra {
+
+class NewReno final : public CongestionControl {
+ public:
+  explicit NewReno(std::int64_t mss = kDefaultPacketBytes)
+      : mss_(mss), cwnd_(10 * mss), ssthresh_(kInfiniteCwnd) {}
+
+  void on_packet_sent(const SendEvent& ev) override { epoch_.on_sent(ev.seq); }
+
+  void on_ack(const AckEvent& ack) override {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += mss_;  // slow start: one MSS per ACK
+    } else {
+      // Congestion avoidance: one MSS per window per RTT.
+      cwnd_ += mss_ * mss_ / cwnd_;
+    }
+    (void)ack;
+  }
+
+  void on_loss(const LossEvent& loss) override {
+    if (!epoch_.should_react(loss.seq)) return;
+    ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, 2 * mss_);
+    cwnd_ = loss.from_timeout ? mss_ : ssthresh_;
+  }
+
+  RateBps pacing_rate() const override { return 0; }
+  std::int64_t cwnd_bytes() const override { return cwnd_; }
+  std::string name() const override { return "newreno"; }
+
+ private:
+  std::int64_t mss_;
+  std::int64_t cwnd_;
+  std::int64_t ssthresh_;
+  LossEpochTracker epoch_;
+};
+
+}  // namespace libra

@@ -1,0 +1,54 @@
+// Sprout-EWMA (the Pantheon variant of Sprout, Winstein et al. NSDI 2013):
+// forecasts link capacity with an EWMA of the delivery rate and paces so the
+// expected queueing delay stays under a fixed target. Rate-based.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/congestion_control.h"
+#include "util/ewma.h"
+
+namespace libra {
+
+struct SproutParams {
+  std::int64_t mss = kDefaultPacketBytes;
+  SimDuration target_queueing_delay = msec(50);
+  double ewma_gain = 0.2;
+};
+
+class SproutEwma final : public CongestionControl {
+ public:
+  explicit SproutEwma(SproutParams params = {})
+      : params_(params), capacity_est_(params.ewma_gain) {}
+
+  void on_ack(const AckEvent& ack) override {
+    if (ack.delivery_rate > 0) capacity_est_.update(ack.delivery_rate);
+    // Proportional controller on queueing delay: pace at the forecast
+    // capacity scaled down as the queue approaches the delay target, with
+    // only gentle headroom above the forecast when the queue is empty.
+    SimDuration excess = ack.rtt - ack.min_rtt;
+    double ratio = static_cast<double>(excess) /
+                   static_cast<double>(params_.target_queueing_delay);
+    control_ = std::clamp(1.0 + 0.25 * (1.0 - ratio), 0.5, 1.1);
+  }
+
+  void on_loss(const LossEvent&) override {
+    // Loss means the forecast overshot badly; damp the controller briefly.
+    control_ = std::min(control_, 0.6);
+  }
+
+  RateBps pacing_rate() const override {
+    RateBps base = capacity_est_.value_or(mbps(1));
+    return std::max(kbps(100), base * control_);
+  }
+
+  std::int64_t cwnd_bytes() const override { return kInfiniteCwnd; }
+  std::string name() const override { return "sprout"; }
+
+ private:
+  SproutParams params_;
+  Ewma capacity_est_;
+  double control_ = 1.0;
+};
+
+}  // namespace libra

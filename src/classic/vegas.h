@@ -1,0 +1,73 @@
+// TCP Vegas (Brakmo & Peterson, 1995): delay-based congestion avoidance that
+// keeps between alpha and beta packets queued at the bottleneck.
+#pragma once
+
+#include "classic/loss_epoch.h"
+#include "sim/congestion_control.h"
+
+namespace libra {
+
+struct VegasParams {
+  std::int64_t mss = kDefaultPacketBytes;
+  double alpha = 2.0;  // lower bound on queued packets
+  double beta = 4.0;   // upper bound on queued packets
+  double gamma = 1.0;  // slow-start exit threshold
+};
+
+class Vegas final : public CongestionControl {
+ public:
+  explicit Vegas(VegasParams params = {})
+      : params_(params), cwnd_(10 * params.mss) {}
+
+  void on_packet_sent(const SendEvent& ev) override { epoch_.on_sent(ev.seq); }
+
+  void on_ack(const AckEvent& ack) override {
+    if (ack.min_rtt <= 0 || ack.rtt <= 0) return;
+    // Adjust once per RTT: gate on time since the last adjustment.
+    if (last_adjust_ != 0 && ack.now - last_adjust_ < ack.rtt) {
+      if (in_slow_start_) cwnd_ += params_.mss;
+      return;
+    }
+    last_adjust_ = ack.now;
+
+    double cwnd_pkts = static_cast<double>(cwnd_) / static_cast<double>(params_.mss);
+    double expected = cwnd_pkts / to_seconds(ack.min_rtt);
+    double actual = cwnd_pkts / to_seconds(ack.rtt);
+    double diff = (expected - actual) * to_seconds(ack.min_rtt);  // pkts queued
+
+    if (in_slow_start_) {
+      if (diff > params_.gamma) {
+        in_slow_start_ = false;
+        cwnd_ -= cwnd_ / 8;  // back off the overshoot
+      } else {
+        cwnd_ += params_.mss;
+      }
+      return;
+    }
+
+    if (diff < params_.alpha) {
+      cwnd_ += params_.mss;
+    } else if (diff > params_.beta) {
+      cwnd_ = std::max<std::int64_t>(cwnd_ - params_.mss, 2 * params_.mss);
+    }
+  }
+
+  void on_loss(const LossEvent& loss) override {
+    if (!epoch_.should_react(loss.seq)) return;
+    in_slow_start_ = false;
+    cwnd_ = std::max<std::int64_t>(cwnd_ / 2, 2 * params_.mss);
+  }
+
+  RateBps pacing_rate() const override { return 0; }
+  std::int64_t cwnd_bytes() const override { return cwnd_; }
+  std::string name() const override { return "vegas"; }
+
+ private:
+  VegasParams params_;
+  std::int64_t cwnd_;
+  bool in_slow_start_ = true;
+  SimTime last_adjust_ = 0;
+  LossEpochTracker epoch_;
+};
+
+}  // namespace libra

@@ -1,0 +1,51 @@
+// TCP Westwood+: NewReno-style growth, but on loss the window collapses to
+// the measured bandwidth-delay product instead of half the window, which
+// makes it resilient to non-congestive (stochastic) losses.
+#pragma once
+
+#include "classic/loss_epoch.h"
+#include "sim/congestion_control.h"
+#include "util/ewma.h"
+
+namespace libra {
+
+class Westwood final : public CongestionControl {
+ public:
+  explicit Westwood(std::int64_t mss = kDefaultPacketBytes)
+      : mss_(mss), cwnd_(10 * mss), ssthresh_(kInfiniteCwnd), bw_est_(0.1) {}
+
+  void on_packet_sent(const SendEvent& ev) override { epoch_.on_sent(ev.seq); }
+
+  void on_ack(const AckEvent& ack) override {
+    if (ack.min_rtt > 0) min_rtt_ = ack.min_rtt;
+    if (ack.delivery_rate > 0) bw_est_.update(ack.delivery_rate);
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += mss_;
+    } else {
+      cwnd_ += mss_ * mss_ / cwnd_;
+    }
+  }
+
+  void on_loss(const LossEvent& loss) override {
+    if (!epoch_.should_react(loss.seq)) return;
+    // ssthresh = BWE * RTTmin: the pipe size measured just before loss.
+    std::int64_t bdp = static_cast<std::int64_t>(
+        bw_est_.value() / 8.0 * to_seconds(min_rtt_));
+    ssthresh_ = std::max<std::int64_t>(bdp, 2 * mss_);
+    cwnd_ = loss.from_timeout ? mss_ : std::min(cwnd_, ssthresh_);
+  }
+
+  RateBps pacing_rate() const override { return 0; }
+  std::int64_t cwnd_bytes() const override { return cwnd_; }
+  std::string name() const override { return "westwood"; }
+
+ private:
+  std::int64_t mss_;
+  std::int64_t cwnd_;
+  std::int64_t ssthresh_;
+  Ewma bw_est_;
+  SimDuration min_rtt_ = msec(50);
+  LossEpochTracker epoch_;
+};
+
+}  // namespace libra

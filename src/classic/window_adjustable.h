@@ -1,0 +1,16 @@
+// Interface for window-based CCAs whose cwnd can be overwritten by a wrapping
+// controller (Libra resynchronizes the classic candidate to the base rate at
+// the start of each exploration stage; Orca applies DRL multipliers).
+#pragma once
+
+#include <cstdint>
+
+namespace libra {
+
+class WindowAdjustable {
+ public:
+  virtual ~WindowAdjustable() = default;
+  virtual void set_cwnd_bytes(std::int64_t cwnd) = 0;
+};
+
+}  // namespace libra

@@ -1,0 +1,291 @@
+#include "core/libra.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "classic/window_adjustable.h"
+
+namespace libra {
+
+namespace {
+constexpr SimDuration kDefaultRtt = msec(100);
+constexpr SimDuration kMinStage = msec(5);
+}  // namespace
+
+Libra::Libra(LibraParams params, std::unique_ptr<CongestionControl> classic,
+             std::unique_ptr<RlCca> rl)
+    : params_(std::move(params)),
+      classic_(std::move(classic)),
+      rl_(std::move(rl)),
+      x_prev_(params_.initial_rate),
+      applied_rate_(params_.initial_rate) {
+  params_.utility.validate();
+  if (params_.use_classic && !classic_)
+    throw std::invalid_argument("Libra: classic CCA required unless clean-slate");
+  if (!rl_) throw std::invalid_argument("Libra: RL component required");
+}
+
+SimDuration Libra::rtt_estimate() const { return srtt_ > 0 ? srtt_ : kDefaultRtt; }
+
+SimDuration Libra::ei_for(RateBps candidate_rate) const {
+  // Nominal EI is a fraction of the RTT (0.5 by default), but a candidate
+  // must carry enough packets to be measurable — stretch the interval at low
+  // rates so at least ~4 MTUs are sent (bounded so cycles stay responsive).
+  auto nominal = static_cast<SimDuration>(params_.ei_rtts *
+                                          static_cast<double>(rtt_estimate()));
+  SimDuration four_packets = transmission_time(4 * kDefaultPacketBytes,
+                                               std::max(candidate_rate, params_.min_rate));
+  return std::clamp<SimDuration>(std::max(nominal, four_packets), kMinStage, msec(250));
+}
+
+RateBps Libra::classic_rate() const {
+  if (!classic_) return x_prev_;
+  RateBps paced = classic_->pacing_rate();
+  if (paced > 0) return paced;
+  return static_cast<double>(classic_->cwnd_bytes()) * 8.0 /
+         to_seconds(rtt_estimate());
+}
+
+void Libra::sync_classic_to(RateBps rate) {
+  if (!classic_) return;
+  // Window-based classics restart the new cycle from the base rate: translate
+  // the rate into a window. Model-based classics (BBR) keep their own model —
+  // Libra inherits their probing unchanged (Sec. 4.3).
+  if (auto* adjustable = dynamic_cast<WindowAdjustable*>(classic_.get())) {
+    auto cwnd = static_cast<std::int64_t>(rate / 8.0 * to_seconds(rtt_estimate()));
+    adjustable->set_cwnd_bytes(cwnd);
+  }
+}
+
+void Libra::enter_exploration(SimTime now) {
+  stage_ = Stage::kExploration;
+  SimDuration len = std::max<SimDuration>(
+      kMinStage, static_cast<SimDuration>(params_.exploration_rtts *
+                                          static_cast<double>(rtt_estimate())));
+  stage_end_ = now + len;
+  applied_rate_ = x_prev_;
+  exploration_saw_ack_ = false;
+  // Resynchronize the classic candidate to the base rate only when another
+  // candidate won and moved it: unconditionally rewriting the window every
+  // cycle would reset CUBIC's epoch clock ~3x per RTT-triple and freeze it in
+  // the slow early-epoch region forever.
+  if (classic_ && std::abs(classic_rate() - x_prev_) > 0.2 * x_prev_) {
+    sync_classic_to(x_prev_);
+  }
+  rl_->external_begin(now, x_prev_);
+  w_explore_.emplace(now, now + len, x_prev_);
+}
+
+void Libra::enter_evaluation(SimTime now) {
+  if (w_explore_) w_explore_->close(now);
+  // Freeze the two candidates. The RL backup decision is the one costly
+  // computation in the control cycle (Remark 5); meter it.
+  x_cl_ = std::clamp(classic_rate(), params_.min_rate, params_.max_rate);
+  {
+    OverheadMeter::Scope scope(rl_overhead_);
+    x_rl_ = std::clamp(rl_->external_decide(now), params_.min_rate, params_.max_rate);
+  }
+
+  if (!params_.use_classic) {
+    // Clean-slate: only the RL candidate gets an EI.
+    SimDuration ei = ei_for(x_rl_);
+    stage_ = Stage::kEvalSecond;
+    stage_end_ = now + ei;
+    applied_rate_ = x_rl_;
+    w_first_.reset();
+    w_second_.emplace(now, now + ei, x_rl_);
+    return;
+  }
+
+  // "Lower rate first" minimizes the self-inflicted queueing side effect on
+  // the second candidate's measurement (Fig. 4).
+  bool classic_lower = x_cl_ <= x_rl_;
+  first_is_classic_ = params_.lower_rate_first ? classic_lower : !classic_lower;
+  RateBps first = first_is_classic_ ? x_cl_ : x_rl_;
+
+  SimDuration ei = ei_for(first);
+  stage_ = Stage::kEvalFirst;
+  stage_end_ = now + ei;
+  applied_rate_ = first;
+  w_first_.emplace(now, now + ei, first);
+}
+
+void Libra::enter_exploitation(SimTime now) {
+  stage_ = Stage::kExploitation;
+  SimDuration len = std::max<SimDuration>(
+      kMinStage, static_cast<SimDuration>(params_.exploitation_rtts *
+                                          static_cast<double>(rtt_estimate())));
+  stage_end_ = now + len;
+  applied_rate_ = x_prev_;
+}
+
+void Libra::finish_cycle(SimTime now) {
+  // No feedback outside the exploration stage: fall back to x_prev (Sec. 3).
+  bool first_ok = w_first_ && w_first_->acks() >= 2;
+  bool second_ok = w_second_ && w_second_->acks() >= 2;
+  bool explore_ok = w_explore_ && w_explore_->acks() >= 2;
+
+  Decision winner = Decision::kPrev;
+  CycleInfo info;
+  info.time = now;
+  info.x_prev = x_prev_;
+  info.x_cl = x_cl_;
+  info.x_rl = x_rl_;
+  info.acks_explore = w_explore_ ? w_explore_->acks() : 0;
+  info.acks_first = w_first_ ? w_first_->acks() : 0;
+  info.acks_second = w_second_ ? w_second_->acks() : 0;
+  // Compare every window that produced a usable measurement. A starved
+  // exploration window only removes x_prev from the comparison (it is the
+  // fallback anyway); if no candidate is measurable the cycle result is
+  // x_prev (Sec. 3 no-ACK rule).
+  if (first_ok || second_ok) {
+    info.valid = true;
+    double best = std::numeric_limits<double>::lowest();
+    if (explore_ok) {
+      info.u_prev = w_explore_->utility_value(params_.utility);
+      best = info.u_prev;
+    }
+    if (first_ok) {
+      double u = w_first_->utility_value(params_.utility);
+      Decision d = (params_.use_classic && first_is_classic_) ? Decision::kClassic
+                                                              : Decision::kRl;
+      (d == Decision::kClassic ? info.u_cl : info.u_rl) = u;
+      if (u > best) { best = u; winner = d; }
+    }
+    if (second_ok) {
+      double u = w_second_->utility_value(params_.utility);
+      // The second EI carries whichever candidate did not go first; in
+      // clean-slate mode it is always the RL candidate.
+      Decision d = (params_.use_classic && first_is_classic_) ? Decision::kRl
+                                                              : (!params_.use_classic
+                                                                     ? Decision::kRl
+                                                                     : Decision::kClassic);
+      (d == Decision::kClassic ? info.u_cl : info.u_rl) = u;
+      if (u > best) { best = u; winner = d; }
+    }
+  }
+  info.winner = winner;
+  if (cycle_observer) cycle_observer(info);
+
+  switch (winner) {
+    case Decision::kPrev: ++decisions_.prev; break;
+    case Decision::kClassic:
+      ++decisions_.classic;
+      x_prev_ = x_cl_;
+      break;
+    case Decision::kRl:
+      ++decisions_.rl;
+      x_prev_ = x_rl_;
+      break;
+  }
+  x_prev_ = std::clamp(x_prev_, params_.min_rate, params_.max_rate);
+
+  w_explore_.reset();
+  w_first_.reset();
+  w_second_.reset();
+  enter_exploration(now);
+}
+
+void Libra::advance(SimTime now) {
+  if (stage_end_ == 0) {
+    enter_exploration(now);
+    return;
+  }
+  // Early exit from exploration on candidate divergence (Alg. 1 lines 10-11),
+  // but only once the base-rate behaviour is measurable (>= 3 ACKs) so the
+  // u(x_prev) comparison stays meaningful.
+  if (stage_ == Stage::kExploration && w_explore_ && w_explore_->acks() >= 3) {
+    RateBps cl = params_.use_classic ? classic_rate() : x_prev_;
+    RateBps rl = rl_->current_rate();
+    if (std::abs(cl - rl) >= params_.switch_threshold * x_prev_) {
+      enter_evaluation(now);
+      return;
+    }
+  }
+  if (now < stage_end_) return;
+
+  switch (stage_) {
+    case Stage::kExploration:
+      enter_evaluation(now);
+      break;
+    case Stage::kEvalFirst: {
+      RateBps second = first_is_classic_ ? x_rl_ : x_cl_;
+      SimDuration ei = ei_for(second);
+      stage_ = Stage::kEvalSecond;
+      stage_end_ = now + ei;
+      applied_rate_ = second;
+      w_second_.emplace(now, now + ei, second);
+      break;
+    }
+    case Stage::kEvalSecond:
+      enter_exploitation(now);
+      break;
+    case Stage::kExploitation:
+      finish_cycle(now);
+      break;
+  }
+}
+
+void Libra::on_packet_sent(const SendEvent& ev) {
+  if (stage_ == Stage::kExploration) {
+    if (classic_) classic_->on_packet_sent(ev);
+    rl_->on_packet_sent(ev);
+  }
+}
+
+void Libra::on_ack(const AckEvent& ack) {
+  srtt_ = srtt_ == 0 ? ack.rtt : srtt_ + (ack.rtt - srtt_) / 8;
+  if (w_explore_) w_explore_->on_ack(ack);
+  if (w_first_) w_first_->on_ack(ack);
+  if (w_second_) w_second_->on_ack(ack);
+
+  if (stage_ == Stage::kExploration) {
+    exploration_saw_ack_ = true;
+    if (classic_) {
+      classic_->on_ack(ack);
+      applied_rate_ = std::clamp(classic_rate(), params_.min_rate, params_.max_rate);
+    }
+    {
+      // The RL backup decision is the only costly computation in the cycle.
+      OverheadMeter::Scope scope(rl_overhead_);
+      rl_->on_ack(ack);
+    }
+  }
+  advance(ack.now);
+}
+
+void Libra::on_loss(const LossEvent& loss) {
+  if (w_explore_) w_explore_->on_loss(loss);
+  if (w_first_) w_first_->on_loss(loss);
+  if (w_second_) w_second_->on_loss(loss);
+  if (stage_ == Stage::kExploration) {
+    if (classic_) classic_->on_loss(loss);
+    rl_->on_loss(loss);
+  }
+}
+
+void Libra::on_tick(SimTime now) {
+  if (stage_ == Stage::kExploration) {
+    if (classic_) classic_->on_tick(now);
+    OverheadMeter::Scope scope(rl_overhead_);
+    rl_->on_tick(now);
+  }
+  advance(now);
+}
+
+RateBps Libra::pacing_rate() const { return applied_rate_; }
+
+std::int64_t Libra::cwnd_bytes() const {
+  auto bdp = static_cast<std::int64_t>(applied_rate_ / 8.0 *
+                                       to_seconds(rtt_estimate()));
+  return std::max<std::int64_t>(2 * bdp, 4 * kDefaultPacketBytes);
+}
+
+std::int64_t Libra::memory_bytes() const {
+  std::int64_t total = rl_->memory_bytes() + 512;
+  if (classic_) total += classic_->memory_bytes();
+  return total;
+}
+
+}  // namespace libra

@@ -1,0 +1,138 @@
+// Libra: the unified congestion-control framework (the paper's primary
+// contribution, Sec. 3-4, Alg. 1).
+//
+// A classic CCA and an RL-based CCA run side by side under a three-stage
+// control cycle:
+//   1. Exploration  — start from the base rate x_prev; the classic CCA steers
+//      the actual sending rate per ACK while the RL agent computes a backup
+//      decision per monitor interval. Exit early when the two candidates
+//      diverge by >= th1 (0.3 x base rate) or after k RTTs.
+//   2. Evaluation   — try the two candidate rates for one evaluation interval
+//      (EI, 0.5 RTT) each, LOWER RATE FIRST to avoid the self-inflicted
+//      queueing side effect (Fig. 4); meanwhile the exploration stage's
+//      delayed feedback yields u(x_prev).
+//   3. Exploitation — replay x_prev while the candidates' delayed feedback
+//      returns; then pick argmax{u(x_prev), u(x_cl), u(x_rl)} as the next
+//      cycle's base rate.
+// Edge cases (Sec. 3): no ACKs in exploration -> the RL decision is held; no
+// ACKs in other stages -> the cycle result falls back to x_prev.
+//
+// Clean-Slate Libra (no classic candidate) is the same machine with
+// use_classic=false.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "sim/stats_window.h"
+#include "learned/rl_cca.h"
+#include "sim/congestion_control.h"
+#include "stats/overhead.h"
+
+namespace libra {
+
+struct LibraParams {
+  UtilityParams utility;
+  /// k: exploration-stage length in (estimated) RTTs. 1 for CUBIC-like CCAs,
+  /// 3 for BBR (inherits the gain-probing half of its cycle) — Sec. 4.3.
+  double exploration_rtts = 1.0;
+  /// EI duration in RTTs (two EIs per cycle). Paper default 0.5.
+  double ei_rtts = 0.5;
+  /// Exploitation-stage length in RTTs (1 for CUBIC, 3 for BBR).
+  double exploitation_rtts = 1.0;
+  /// th1 as a fraction of the base rate (0.3 covers BBR's +/-25% probing).
+  double switch_threshold = 0.3;
+  /// Evaluate the lower candidate rate first (the paper's rule). Exposed so
+  /// the Fig. 4 ablation can flip it.
+  bool lower_rate_first = true;
+  /// false => Clean-Slate Libra: drop the classic candidate entirely.
+  bool use_classic = true;
+  RateBps initial_rate = mbps(2.0);
+  RateBps min_rate = kbps(100);
+  RateBps max_rate = mbps(400);
+  std::string name = "libra";
+};
+
+/// Which decision won a control cycle — aggregated for Fig. 17.
+enum class Decision { kPrev, kClassic, kRl };
+
+struct DecisionCounts {
+  std::int64_t prev = 0;
+  std::int64_t classic = 0;
+  std::int64_t rl = 0;
+  std::int64_t total() const { return prev + classic + rl; }
+};
+
+class Libra final : public CongestionControl {
+ public:
+  /// `classic` may be null only when params.use_classic is false. The RL
+  /// component is a chassis instance sharing a (possibly pre-trained) brain.
+  Libra(LibraParams params, std::unique_ptr<CongestionControl> classic,
+        std::unique_ptr<RlCca> rl);
+
+  void on_packet_sent(const SendEvent& ev) override;
+  void on_ack(const AckEvent& ack) override;
+  void on_loss(const LossEvent& loss) override;
+  void on_tick(SimTime now) override;
+
+  RateBps pacing_rate() const override;
+  std::int64_t cwnd_bytes() const override;
+  std::string name() const override { return params_.name; }
+  std::int64_t memory_bytes() const override;
+
+  const DecisionCounts& decision_counts() const { return decisions_; }
+  RateBps base_rate() const { return x_prev_; }
+
+  /// Wall-clock cost of the RL agent's decisions (for the overhead benches).
+  const OverheadMeter& rl_overhead() const { return rl_overhead_; }
+
+  enum class Stage { kExploration, kEvalFirst, kEvalSecond, kExploitation };
+  Stage stage() const { return stage_; }
+
+  /// Per-cycle debugging/analysis record (drives the Fig. 18 utility series).
+  struct CycleInfo {
+    SimTime time = 0;
+    RateBps x_prev = 0, x_cl = 0, x_rl = 0;
+    double u_prev = 0, u_cl = 0, u_rl = 0;
+    int acks_explore = 0, acks_first = 0, acks_second = 0;
+    bool valid = false;  // false => no-ACK fallback to x_prev
+    Decision winner = Decision::kPrev;
+  };
+  std::function<void(const CycleInfo&)> cycle_observer;
+
+ private:
+  void advance(SimTime now);
+  void enter_exploration(SimTime now);
+  void enter_evaluation(SimTime now);
+  void enter_exploitation(SimTime now);
+  void finish_cycle(SimTime now);
+  SimDuration rtt_estimate() const;
+  SimDuration ei_for(RateBps candidate_rate) const;
+  RateBps classic_rate() const;
+  void sync_classic_to(RateBps rate);
+
+  LibraParams params_;
+  std::unique_ptr<CongestionControl> classic_;
+  std::unique_ptr<RlCca> rl_;
+
+  Stage stage_ = Stage::kExploration;
+  SimTime stage_end_ = 0;
+  RateBps x_prev_;
+  RateBps applied_rate_;
+  RateBps x_cl_ = 0;  // classic candidate frozen at evaluation entry
+  RateBps x_rl_ = 0;  // RL candidate frozen at evaluation entry
+  bool first_is_classic_ = true;
+
+  std::optional<StatsWindow> w_explore_;
+  std::optional<StatsWindow> w_first_;
+  std::optional<StatsWindow> w_second_;
+
+  SimDuration srtt_ = 0;
+  bool exploration_saw_ack_ = false;
+  DecisionCounts decisions_;
+  OverheadMeter rl_overhead_;
+};
+
+}  // namespace libra

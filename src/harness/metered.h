@@ -1,0 +1,48 @@
+// Decorator that attributes wall-clock time spent inside a congestion
+// controller's callbacks to an OverheadMeter — the measurement behind the
+// paper's CPU-utilization comparisons (Figs. 2c, 12).
+#pragma once
+
+#include <memory>
+
+#include "sim/congestion_control.h"
+#include "stats/overhead.h"
+
+namespace libra {
+
+class MeteredCca final : public CongestionControl {
+ public:
+  MeteredCca(std::unique_ptr<CongestionControl> inner,
+             std::shared_ptr<OverheadMeter> meter)
+      : inner_(std::move(inner)), meter_(std::move(meter)) {}
+
+  void on_packet_sent(const SendEvent& ev) override {
+    OverheadMeter::Scope s(*meter_);
+    inner_->on_packet_sent(ev);
+  }
+  void on_ack(const AckEvent& ack) override {
+    OverheadMeter::Scope s(*meter_);
+    inner_->on_ack(ack);
+  }
+  void on_loss(const LossEvent& loss) override {
+    OverheadMeter::Scope s(*meter_);
+    inner_->on_loss(loss);
+  }
+  void on_tick(SimTime now) override {
+    OverheadMeter::Scope s(*meter_);
+    inner_->on_tick(now);
+  }
+
+  RateBps pacing_rate() const override { return inner_->pacing_rate(); }
+  std::int64_t cwnd_bytes() const override { return inner_->cwnd_bytes(); }
+  std::string name() const override { return inner_->name(); }
+  std::int64_t memory_bytes() const override { return inner_->memory_bytes(); }
+
+  CongestionControl& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<CongestionControl> inner_;
+  std::shared_ptr<OverheadMeter> meter_;
+};
+
+}  // namespace libra

@@ -1,0 +1,61 @@
+// Plain-text table output used by the bench binaries to print the paper's
+// tables and figure series in a uniform, diffable format.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace libra {
+
+inline std::string fmt(double v, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+inline std::string fmt_pct(double frac, int precision = 1) {
+  return fmt(frac * 100.0, precision) + "%";
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::ostream& out = std::cout) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+        widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        out << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+            << (i < row.size() ? row[i] : "");
+      }
+      out << "\n";
+    };
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    out << std::string(total, '-') << "\n";
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void section(const std::string& title, std::ostream& out = std::cout) {
+  out << "\n=== " << title << " ===\n";
+}
+
+}  // namespace libra

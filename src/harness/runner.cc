@@ -1,0 +1,50 @@
+#include "harness/runner.h"
+
+#include <stdexcept>
+
+namespace libra {
+
+std::unique_ptr<Network> run_scenario(const Scenario& scenario,
+                                      const std::vector<FlowSpec>& flows,
+                                      std::uint64_t seed) {
+  if (flows.empty()) throw std::invalid_argument("run_scenario: no flows");
+  auto net = std::make_unique<Network>(scenario.link_config(seed));
+  for (const FlowSpec& spec : flows) {
+    net->add_flow(spec.make_cca(), spec.start, spec.stop, spec.extra_ack_delay);
+  }
+  net->run_until(scenario.duration);
+  return net;
+}
+
+RunSummary summarize(const Network& net, SimTime warmup, SimTime horizon) {
+  RunSummary sum;
+  sum.link_utilization = net.link_utilization(warmup, horizon);
+  double rtt_weighted = 0;
+  std::int64_t rtt_samples = 0;
+  for (int i = 0; i < net.flow_count(); ++i) {
+    const Flow& f = net.flow(i);
+    FlowSummary fs;
+    fs.throughput_bps = f.throughput_in(warmup, horizon);
+    fs.avg_rtt_ms = f.mean_rtt_in(warmup, horizon);
+    // Loss rate over the window: lost packets / (acked + lost) within it.
+    double lost = f.loss_series().sum_in(warmup, horizon) / kDefaultPacketBytes;
+    double acked = f.acked_bytes_series().sum_in(warmup, horizon) / kDefaultPacketBytes;
+    fs.loss_rate = (lost + acked) > 0 ? lost / (lost + acked) : 0.0;
+    sum.total_throughput_bps += fs.throughput_bps;
+
+    std::int64_t n = static_cast<std::int64_t>(acked);
+    rtt_weighted += fs.avg_rtt_ms * static_cast<double>(n);
+    rtt_samples += n;
+    sum.flows.push_back(fs);
+  }
+  sum.avg_delay_ms = rtt_samples > 0 ? rtt_weighted / static_cast<double>(rtt_samples) : 0;
+  return sum;
+}
+
+RunSummary run_single(const Scenario& scenario, const CcaFactory& make_cca,
+                      std::uint64_t seed, SimDuration warmup) {
+  auto net = run_scenario(scenario, {{make_cca}}, seed);
+  return summarize(*net, warmup, scenario.duration);
+}
+
+}  // namespace libra

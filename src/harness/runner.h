@@ -1,0 +1,49 @@
+// Experiment runner: builds a Network from a Scenario, attaches flows, runs,
+// and produces the summary metrics every bench reports.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "harness/scenario.h"
+#include "sim/network.h"
+
+namespace libra {
+
+using CcaFactory = std::function<std::unique_ptr<CongestionControl>()>;
+
+struct FlowSpec {
+  CcaFactory make_cca;
+  SimTime start = 0;
+  SimTime stop = kSimTimeMax;
+  SimDuration extra_ack_delay = 0;
+};
+
+struct FlowSummary {
+  double throughput_bps = 0;
+  double avg_rtt_ms = 0;
+  double loss_rate = 0;
+};
+
+struct RunSummary {
+  double link_utilization = 0;
+  double avg_delay_ms = 0;   // mean per-ACK RTT across flows
+  double total_throughput_bps = 0;
+  std::vector<FlowSummary> flows;
+};
+
+/// Builds the network and runs it to `scenario.duration`. The returned
+/// Network owns the flows and all their time series.
+std::unique_ptr<Network> run_scenario(const Scenario& scenario,
+                                      const std::vector<FlowSpec>& flows,
+                                      std::uint64_t seed);
+
+/// Metrics over [warmup, horizon) of an already-run network.
+RunSummary summarize(const Network& net, SimTime warmup, SimTime horizon);
+
+/// Convenience: single flow, full duration, default 2 s warmup.
+RunSummary run_single(const Scenario& scenario, const CcaFactory& make_cca,
+                      std::uint64_t seed, SimDuration warmup = sec(2));
+
+}  // namespace libra

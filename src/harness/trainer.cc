@@ -1,0 +1,52 @@
+#include "harness/trainer.h"
+
+#include "core/libra.h"
+#include "learned/orca.h"
+#include "learned/rl_cca.h"
+
+namespace libra {
+
+std::optional<std::pair<double, int>> episode_reward_of(CongestionControl& cca) {
+  if (auto* rl = dynamic_cast<RlCca*>(&cca))
+    return std::make_pair(rl->episode_reward(), rl->episode_steps());
+  if (auto* orca = dynamic_cast<Orca*>(&cca))
+    return std::make_pair(orca->episode_reward(), orca->episode_steps());
+  return std::nullopt;
+}
+
+EpisodeStats Trainer::run_episode(const CcaFactory& make_cca) {
+  Scenario env;
+  double cap = rng_.uniform(ranges_.capacity_lo_mbps, ranges_.capacity_hi_mbps);
+  env.name = "train";
+  env.nominal_rate = mbps(cap);
+  env.make_trace = [cap](std::uint64_t) {
+    return std::make_shared<ConstantTrace>(mbps(cap));
+  };
+  env.min_rtt = rng_.uniform_int(ranges_.rtt_lo, ranges_.rtt_hi);
+  env.buffer_bytes = rng_.uniform_int(ranges_.buffer_lo, ranges_.buffer_hi);
+  env.stochastic_loss = rng_.uniform(ranges_.loss_lo, ranges_.loss_hi);
+  env.duration = ranges_.episode_length;
+
+  auto net = run_scenario(env, {{make_cca}}, rng_.uniform_int(1, 1'000'000'000));
+
+  EpisodeStats stats;
+  RunSummary sum = summarize(*net, 0, env.duration);
+  stats.throughput_bps = sum.total_throughput_bps;
+  stats.avg_rtt_ms = sum.avg_delay_ms;
+  stats.loss_rate = sum.flows.front().loss_rate;
+  stats.link_utilization = sum.link_utilization;
+  if (auto r = episode_reward_of(net->flow(0).sender().cca())) {
+    stats.reward = r->first;
+    stats.steps = r->second;
+  }
+  return stats;
+}
+
+std::vector<EpisodeStats> Trainer::train(const CcaFactory& make_cca, int episodes) {
+  std::vector<EpisodeStats> curve;
+  curve.reserve(static_cast<std::size_t>(episodes));
+  for (int i = 0; i < episodes; ++i) curve.push_back(run_episode(make_cca));
+  return curve;
+}
+
+}  // namespace libra

@@ -1,0 +1,55 @@
+// Training loop for the RL congestion controllers.
+//
+// Mirrors the paper's training environment (Sec. 5): every episode samples a
+// fresh network — link capacity 10-200 Mbps, min RTT 10-200 ms, buffer
+// 10 KB-5 MB, stochastic loss 0-10% — starts a new flow, and lets the shared
+// PPO brain learn across episodes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "harness/runner.h"
+#include "util/rng.h"
+
+namespace libra {
+
+struct TrainEnvRanges {
+  double capacity_lo_mbps = 10, capacity_hi_mbps = 200;
+  SimDuration rtt_lo = msec(10), rtt_hi = msec(200);
+  std::int64_t buffer_lo = 10 * 1000, buffer_hi = 5 * 1000 * 1000;
+  double loss_lo = 0.0, loss_hi = 0.10;
+  SimDuration episode_length = sec(6);
+};
+
+struct EpisodeStats {
+  double reward = 0;       // cumulative agent reward over the episode
+  int steps = 0;           // agent decisions taken
+  double throughput_bps = 0;
+  double avg_rtt_ms = 0;
+  double loss_rate = 0;
+  double link_utilization = 0;
+};
+
+/// Pulls the cumulative episode reward out of a controller if it is one of
+/// the RL types (RlCca, Orca, or a Libra wrapping an RlCca).
+std::optional<std::pair<double, int>> episode_reward_of(CongestionControl& cca);
+
+class Trainer {
+ public:
+  Trainer(TrainEnvRanges ranges, std::uint64_t seed)
+      : ranges_(ranges), rng_(seed) {}
+
+  /// Runs one episode in a freshly sampled environment; the factory must bind
+  /// the controller to the brain being trained (training mode on).
+  EpisodeStats run_episode(const CcaFactory& make_cca);
+
+  /// Runs `episodes` episodes; returns per-episode stats (learning curve).
+  std::vector<EpisodeStats> train(const CcaFactory& make_cca, int episodes);
+
+ private:
+  TrainEnvRanges ranges_;
+  Rng rng_;
+};
+
+}  // namespace libra

@@ -1,0 +1,153 @@
+#include "harness/zoo.h"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "classic/bbr.h"
+#include "classic/compound.h"
+#include "classic/copa.h"
+#include "classic/cubic.h"
+#include "classic/illinois.h"
+#include "classic/newreno.h"
+#include "classic/sprout_ewma.h"
+#include "classic/vegas.h"
+#include "classic/westwood.h"
+#include "core/factory.h"
+#include "harness/trainer.h"
+#include "learned/aurora.h"
+#include "learned/indigo.h"
+#include "learned/libra_rl.h"
+#include "learned/orca.h"
+#include "learned/remy.h"
+#include "learned/vivace.h"
+
+namespace libra {
+
+CcaZoo::CcaZoo(ZooConfig config) : config_(std::move(config)) {}
+
+std::vector<std::string> CcaZoo::all_names() {
+  return {"cubic",   "bbr",     "newreno",  "vegas",       "westwood",
+          "illinois", "copa",  "compound", "sprout", "vivace", "proteus",
+          "remy",    "indigo",  "aurora",   "orca",        "modified-rl",
+          "libra-rl", "c-libra", "b-libra", "cl-libra"};
+}
+
+std::shared_ptr<RlBrain> CcaZoo::brain(const std::string& family) {
+  auto it = brains_.find(family);
+  if (it != brains_.end()) return it->second;
+  auto brain = train_or_load(family);
+  brains_[family] = brain;
+  return brain;
+}
+
+std::shared_ptr<RlBrain> CcaZoo::train_or_load(const std::string& family) {
+  std::shared_ptr<RlBrain> brain;
+  CcaFactory train_factory;
+  const std::vector<std::size_t> hidden{config_.hidden_width, config_.hidden_width};
+
+  if (family == "libra-rl") {
+    RlCcaConfig cfg = libra_rl_config();
+    brain = std::make_shared<RlBrain>(make_ppo_config(cfg, config_.seed, hidden),
+                                      feature_frame_size(cfg.features));
+    train_factory = [brain] { return make_libra_rl(brain, /*training=*/true); };
+  } else if (family == "modified-rl") {
+    RlCcaConfig cfg = modified_rl_config();
+    brain = std::make_shared<RlBrain>(make_ppo_config(cfg, config_.seed + 1, hidden),
+                                      feature_frame_size(cfg.features));
+    train_factory = [brain] { return make_modified_rl(brain, /*training=*/true); };
+  } else if (family == "aurora") {
+    RlCcaConfig cfg = aurora_config();
+    brain = std::make_shared<RlBrain>(make_ppo_config(cfg, config_.seed + 2, hidden),
+                                      feature_frame_size(cfg.features));
+    train_factory = [brain] { return make_aurora(brain, /*training=*/true); };
+  } else if (family == "orca") {
+    PpoConfig ppo;
+    ppo.state_dim = feature_frame_size(orca_state_space()) * 8;
+    ppo.hidden = hidden;
+    ppo.seed = config_.seed + 3;
+    brain = std::make_shared<RlBrain>(ppo, feature_frame_size(orca_state_space()));
+    train_factory = [brain] {
+      OrcaParams p;
+      p.training = true;
+      return std::make_unique<Orca>(p, brain);
+    };
+  } else {
+    throw std::out_of_range("CcaZoo: unknown brain family " + family);
+  }
+
+  // Aurora trains on its own published environment span (random loss <= 5%);
+  // the Libra-paper env randomizes loss up to 10%, which is pure reward noise
+  // for an agent that cannot influence it.
+  TrainEnvRanges ranges;
+  if (family == "aurora") ranges.loss_hi = 0.05;
+
+  if (!config_.brain_dir.empty()) {
+    std::filesystem::create_directories(config_.brain_dir);
+    std::string path = config_.brain_dir + "/" + family + ".brain";
+    try {
+      if (load_brain(*brain, path)) return brain;
+    } catch (const std::exception&) {
+      // Stale cache for a changed architecture: retrain below.
+    }
+    Trainer trainer(ranges, config_.seed ^ 0x5EED);
+    trainer.train(train_factory, config_.train_episodes);
+    save_brain(*brain, path);
+    return brain;
+  }
+
+  Trainer trainer(ranges, config_.seed ^ 0x5EED);
+  trainer.train(train_factory, config_.train_episodes);
+  return brain;
+}
+
+CcaFactory CcaZoo::factory(const std::string& name) {
+  const bool train = config_.experiment_training;
+  if (name == "cubic") return [] { return std::make_unique<Cubic>(); };
+  if (name == "bbr") return [] { return std::make_unique<Bbr>(); };
+  if (name == "newreno") return [] { return std::make_unique<NewReno>(); };
+  if (name == "vegas") return [] { return std::make_unique<Vegas>(); };
+  if (name == "westwood") return [] { return std::make_unique<Westwood>(); };
+  if (name == "illinois") return [] { return std::make_unique<Illinois>(); };
+  if (name == "copa") return [] { return std::make_unique<Copa>(); };
+  if (name == "compound") return [] { return std::make_unique<CompoundTcp>(); };
+  if (name == "sprout") return [] { return std::make_unique<SproutEwma>(); };
+  if (name == "vivace") return [] { return std::make_unique<Vivace>(); };
+  if (name == "proteus") return [] { return make_proteus(); };
+  if (name == "remy") return [] { return std::make_unique<Remy>(); };
+  if (name == "indigo") return [] { return std::make_unique<Indigo>(); };
+  if (name == "aurora") {
+    auto b = brain("aurora");
+    return [b, train] { return make_aurora(b, train); };
+  }
+  if (name == "orca") {
+    auto b = brain("orca");
+    return [b, train] {
+      OrcaParams p;
+      p.training = train;
+      return std::make_unique<Orca>(p, b);
+    };
+  }
+  if (name == "modified-rl") {
+    auto b = brain("modified-rl");
+    return [b, train] { return make_modified_rl(b, train); };
+  }
+  if (name == "libra-rl") {
+    auto b = brain("libra-rl");
+    return [b, train] { return make_libra_rl(b, train); };
+  }
+  if (name == "c-libra") {
+    auto b = brain("libra-rl");
+    return [b, train] { return make_c_libra(b, train); };
+  }
+  if (name == "b-libra") {
+    auto b = brain("libra-rl");
+    return [b, train] { return make_b_libra(b, train); };
+  }
+  if (name == "cl-libra") {
+    auto b = brain("libra-rl");
+    return [b, train] { return make_clean_slate_libra(b, train); };
+  }
+  throw std::out_of_range("CcaZoo: unknown CCA " + name);
+}
+
+}  // namespace libra

@@ -1,0 +1,100 @@
+// RemyCC-style rule-table congestion control (Winstein & Balakrishnan,
+// SIGCOMM 2013). Remy's tables are produced by a large offline optimizer we
+// do not reproduce; instead we ship a compact hand-constructed table with
+// the same *shape* — state = (inter-ACK EWMA, inter-send EWMA, RTT ratio),
+// action = (window multiple m, window increment b, minimum send interval) —
+// tuned for a mid-range design span. As in the paper's evaluation, behaviour
+// degrades when conditions leave that span (DESIGN.md, substitutions).
+#pragma once
+
+#include <vector>
+
+#include "learned/monitor.h"
+#include "sim/congestion_control.h"
+
+namespace libra {
+
+struct RemyRule {
+  // Match bounds on the state (upper bounds; rules checked in order).
+  double max_rtt_ratio;
+  double max_ack_gap_ms;
+  // Action.
+  double window_multiple;
+  double window_increment_pkts;
+  double min_send_interval_ms;
+};
+
+class Remy final : public CongestionControl {
+ public:
+  explicit Remy(std::int64_t mss = kDefaultPacketBytes)
+      : mss_(mss), cwnd_(4 * mss) {}
+
+  void on_packet_sent(const SendEvent& ev) override { collector_.on_send(ev); }
+
+  void on_ack(const AckEvent& ack) override {
+    collector_.on_ack(ack);
+    srtt_ = srtt_ == 0 ? ack.rtt : srtt_ + (ack.rtt - srtt_) / 8;
+    // Remy acts on every ACK using its memory of gap EWMAs and RTT ratio.
+    if (ack.now < next_action_) return;
+    next_action_ = ack.now + srtt_ / 2;
+
+    MiReport probe = snapshot();
+    double rtt_ratio = ack.min_rtt > 0
+                           ? static_cast<double>(ack.rtt) /
+                                 static_cast<double>(ack.min_rtt)
+                           : 1.0;
+    const RemyRule& rule = match(rtt_ratio, probe.ack_gap_ewma_s * 1e3);
+    double next = rule.window_multiple *
+                      (static_cast<double>(cwnd_) / static_cast<double>(mss_)) +
+                  rule.window_increment_pkts;
+    cwnd_ = std::max<std::int64_t>(
+        static_cast<std::int64_t>(next * static_cast<double>(mss_)), 2 * mss_);
+    min_interval_ = seconds(rule.min_send_interval_ms / 1e3);
+  }
+
+  void on_loss(const LossEvent&) override {
+    // RemyCC has no explicit loss rule; losses surface through the ACK gaps.
+  }
+
+  RateBps pacing_rate() const override {
+    if (min_interval_ <= 0) return 0;
+    return static_cast<double>(mss_) * 8.0 / to_seconds(min_interval_);
+  }
+  std::int64_t cwnd_bytes() const override { return cwnd_; }
+  std::string name() const override { return "remy"; }
+
+ private:
+  /// The gap EWMAs live in the collector; peek without closing an MI.
+  MiReport snapshot() {
+    MiCollector copy = collector_;
+    return copy.finish(0);
+  }
+
+  const RemyRule& match(double rtt_ratio, double ack_gap_ms) const {
+    static const std::vector<RemyRule> kTable = {
+        // Queue empty, dense ACKs: ramp hard.
+        {1.05, 5.0, 1.00, 2.0, 0.0},
+        {1.05, 1e9, 1.00, 1.0, 0.0},
+        // Mild queue: probe gently.
+        {1.30, 5.0, 1.00, 0.5, 0.5},
+        {1.30, 1e9, 0.98, 0.5, 1.0},
+        // Standing queue: back off.
+        {1.80, 1e9, 0.85, 0.0, 2.0},
+        // Heavy congestion: collapse.
+        {1e9, 1e9, 0.60, 0.0, 4.0},
+    };
+    for (const RemyRule& r : kTable) {
+      if (rtt_ratio <= r.max_rtt_ratio && ack_gap_ms <= r.max_ack_gap_ms) return r;
+    }
+    return kTable.back();
+  }
+
+  std::int64_t mss_;
+  std::int64_t cwnd_;
+  SimDuration srtt_ = 0;
+  SimTime next_action_ = 0;
+  SimDuration min_interval_ = 0;
+  MiCollector collector_;
+};
+
+}  // namespace libra

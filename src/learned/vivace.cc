@@ -1,0 +1,192 @@
+#include "learned/vivace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace libra {
+
+namespace {
+constexpr SimDuration kMinMi = msec(10);
+constexpr SimDuration kMaxMi = msec(300);
+}  // namespace
+
+std::unique_ptr<Vivace> make_proteus() {
+  return std::make_unique<Vivace>(proteus_params());
+}
+
+Vivace::Vivace(VivaceParams params)
+    : params_(std::move(params)), rate_(params_.initial_rate) {
+  params_.utility.validate();
+}
+
+RateBps Vivace::pacing_rate() const {
+  switch (phase_) {
+    case Phase::kProbeUp: return rate_ * (1.0 + params_.epsilon);
+    case Phase::kProbeDown: return rate_ * (1.0 - params_.epsilon);
+    default: return rate_;
+  }
+}
+
+std::int64_t Vivace::cwnd_bytes() const {
+  if (srtt_ <= 0) return kInfiniteCwnd;
+  auto bdp = static_cast<std::int64_t>(pacing_rate() / 8.0 * to_seconds(srtt_));
+  return std::max<std::int64_t>(2 * bdp, 4 * kDefaultPacketBytes);
+}
+
+SimDuration Vivace::mi_length() const {
+  SimDuration rtt = srtt_ > 0 ? srtt_ : msec(50);
+  SimDuration five_packets = transmission_time(5 * kDefaultPacketBytes,
+                                               std::max(rate_, params_.min_rate));
+  return std::clamp(std::max(rtt, five_packets), kMinMi, kMaxMi);
+}
+
+void Vivace::on_packet_sent(const SendEvent&) {}
+
+void Vivace::on_ack(const AckEvent& ack) {
+  srtt_ = srtt_ == 0 ? ack.rtt : srtt_ + (ack.rtt - srtt_) / 8;
+  for (Mi& mi : pending_) mi.window.on_ack(ack);
+  roll_mi(ack.now);
+  process_mature(ack.now);
+}
+
+void Vivace::on_loss(const LossEvent& loss) {
+  for (Mi& mi : pending_) mi.window.on_loss(loss);
+}
+
+void Vivace::on_tick(SimTime now) {
+  roll_mi(now);
+  process_mature(now);
+}
+
+void Vivace::roll_mi(SimTime now) {
+  if (mi_end_ != 0 && now < mi_end_) return;
+
+  // Advance the sending schedule based on what the MI that just ended
+  // carried: each probe phase lasts exactly one MI. Decisions set phase_ to
+  // kProbeUp asynchronously; that assignment must survive until an MI has
+  // actually been sent under it, hence the dispatch on last_tag_.
+  if (mi_end_ != 0) {
+    if (last_tag_ == MiTag::kProbeUp) {
+      phase_ = Phase::kProbeDown;
+    } else if (last_tag_ == MiTag::kProbeDown) {
+      phase_ = Phase::kWait;
+    }
+  }
+
+  SimDuration len = mi_length();
+  MiTag tag = MiTag::kNeutral;
+  switch (phase_) {
+    case Phase::kStarting: tag = MiTag::kStarting; break;
+    case Phase::kProbeUp: tag = MiTag::kProbeUp; break;
+    case Phase::kProbeDown: tag = MiTag::kProbeDown; break;
+    case Phase::kWait: tag = MiTag::kNeutral; break;
+  }
+  pending_.push_back({StatsWindow(now, now + len, pacing_rate()), tag});
+  last_tag_ = tag;
+  mi_end_ = now + len;
+
+  // Bound memory if feedback stalls entirely.
+  while (pending_.size() > 32) pending_.pop_front();
+}
+
+double Vivace::window_utility(const StatsWindow& w) const {
+  // PCC computes utility on the sender's applied rate; loss and RTT gradient
+  // come from the window's own (send-time-attributed) feedback, with the
+  // latency-noise filter of the reference implementation.
+  return utility(params_.utility, w.applied_rate() / 1e6,
+                 w.filtered_rtt_gradient(), w.loss_rate());
+}
+
+void Vivace::decide_from_probes(double u_up, double u_down,
+                                double rate_probed_mbps) {
+  double denom = 2.0 * params_.epsilon * rate_probed_mbps;
+  double gradient = denom > 1e-9 ? (u_up - u_down) / denom : 0.0;
+
+  double sign = gradient > 0 ? 1.0 : (gradient < 0 ? -1.0 : 0.0);
+  if (sign != 0 && sign == last_step_sign_) {
+    confidence_ = std::min(confidence_ + 1, params_.confidence_limit);
+  } else {
+    confidence_ = 1;
+  }
+  last_step_sign_ = sign;
+
+  // Vivace's dynamic change boundary: the allowed per-round rate change
+  // grows while the gradient keeps its sign (confidence amplifier), capped at
+  // max_step_fraction of the current rate.
+  double step_mbps = params_.theta0 * confidence_ * gradient;
+  double bound_fraction = std::min(0.05 * confidence_, params_.max_step_fraction);
+  double bound = bound_fraction * rate_probed_mbps;
+  step_mbps = std::clamp(step_mbps, -bound, bound);
+  rate_ = std::clamp(rate_ + step_mbps * 1e6, params_.min_rate, params_.max_rate);
+  phase_ = Phase::kProbeUp;  // immediately start the next probe round
+}
+
+void Vivace::process_mature(SimTime now) {
+  // A window is mature when its feedback has had a full RTT to return.
+  SimDuration grace = srtt_ > 0 ? srtt_ : msec(50);
+  while (!pending_.empty()) {
+    Mi& front = pending_.front();
+    if (now < front.window.send_end() + grace) break;
+
+    switch (front.tag) {
+      case MiTag::kNeutral:
+        pending_.pop_front();
+        break;
+
+      case MiTag::kStarting: {
+        // Only the first window sent at each doubling level is informative;
+        // later windows at the same rate would compare the rate to itself.
+        double applied = front.window.applied_rate();
+        if (front.window.acks() < 2 || applied <= last_start_rate_evaluated_) {
+          pending_.pop_front();
+          break;
+        }
+        double u = window_utility(front.window);
+        pending_.pop_front();
+        if (phase_ != Phase::kStarting) break;  // already exited startup
+        last_start_rate_evaluated_ = applied;
+        if (!have_prev_start_utility_ || u > prev_start_utility_) {
+          prev_start_utility_ = u;
+          have_prev_start_utility_ = true;
+          if (rate_ >= params_.max_rate) {
+            phase_ = Phase::kProbeUp;  // nothing left to double into
+          } else {
+            rate_ = std::min(rate_ * 2.0, params_.max_rate);
+          }
+        } else {
+          rate_ = std::max(rate_ / 2.0, params_.min_rate);
+          phase_ = Phase::kProbeUp;
+        }
+        break;
+      }
+
+      case MiTag::kProbeUp: {
+        // Find the matching down-probe; both must be mature to decide.
+        if (pending_.size() < 2) return;
+        Mi& down = pending_[1];
+        if (down.tag != MiTag::kProbeDown) {  // desynchronized: discard
+          pending_.pop_front();
+          break;
+        }
+        if (now < down.window.send_end() + grace) return;
+        if (front.window.acks() >= 2 && down.window.acks() >= 2) {
+          double u_up = window_utility(front.window);
+          double u_down = window_utility(down.window);
+          decide_from_probes(u_up, u_down, rate_ / 1e6);
+        } else {
+          phase_ = Phase::kProbeUp;  // retry the probe round
+        }
+        pending_.pop_front();
+        pending_.pop_front();
+        break;
+      }
+
+      case MiTag::kProbeDown:
+        // Orphaned down-probe (its pair was dropped): discard.
+        pending_.pop_front();
+        break;
+    }
+  }
+}
+
+}  // namespace libra

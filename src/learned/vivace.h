@@ -1,0 +1,96 @@
+// PCC Vivace (Dong et al., NSDI 2018): online gradient-ascent congestion
+// control. Each control round probes rate*(1+eps) and rate*(1-eps) for one
+// monitor interval (MI) each, waits for the *send-time-attributed* feedback
+// of those MIs (PCC's monitor module semantics — a probe's losses are charged
+// to the probe that caused them, not to whichever interval the ACKs happen to
+// arrive in), estimates the utility gradient and moves the rate with a
+// confidence-amplified, boundary-clamped step.
+//
+// PCC Proteus is instantiated as a parameter variant (latency-averse utility,
+// gentler probing) via make_proteus().
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "sim/congestion_control.h"
+#include "sim/stats_window.h"
+#include "stats/utility_fn.h"
+
+namespace libra {
+
+struct VivaceParams {
+  UtilityParams utility;
+  double epsilon = 0.05;            // probe amplitude
+  double theta0 = 1.0;              // base step size (Mbps per unit gradient)
+  double max_step_fraction = 0.2;   // per-round rate-change bound
+  int confidence_limit = 6;
+  RateBps initial_rate = mbps(2.0);
+  RateBps min_rate = kbps(100);
+  RateBps max_rate = mbps(400);
+  std::string name = "vivace";
+};
+
+class Vivace : public CongestionControl {
+ public:
+  explicit Vivace(VivaceParams params = {});
+
+  void on_packet_sent(const SendEvent& ev) override;
+  void on_ack(const AckEvent& ack) override;
+  void on_loss(const LossEvent& loss) override;
+  void on_tick(SimTime now) override;
+
+  RateBps pacing_rate() const override;
+  std::int64_t cwnd_bytes() const override;
+  std::string name() const override { return params_.name; }
+
+  RateBps base_rate() const { return rate_; }
+  bool in_startup() const { return phase_ == Phase::kStarting; }
+
+ private:
+  enum class Phase { kStarting, kProbeUp, kProbeDown, kWait };
+  enum class MiTag { kStarting, kProbeUp, kProbeDown, kNeutral };
+
+  struct Mi {
+    StatsWindow window;
+    MiTag tag;
+  };
+
+  void roll_mi(SimTime now);
+  void process_mature(SimTime now);
+  void decide_from_probes(double u_up, double u_down, double rate_probed_mbps);
+  double window_utility(const StatsWindow& w) const;
+  SimDuration mi_length() const;
+
+  VivaceParams params_;
+  Phase phase_ = Phase::kStarting;
+  MiTag last_tag_ = MiTag::kNeutral;
+  RateBps rate_;
+  SimTime mi_end_ = 0;
+  SimDuration srtt_ = 0;
+  std::deque<Mi> pending_;
+
+  double prev_start_utility_ = 0;
+  bool have_prev_start_utility_ = false;
+  RateBps last_start_rate_evaluated_ = 0;
+  int confidence_ = 1;
+  double last_step_sign_ = 0;
+};
+
+/// PCC Proteus (primary mode) as evaluated in the paper: the same online-
+/// learning engine with a more latency-averse utility and gentler probing,
+/// which reproduces its slower re-convergence after capacity shifts.
+inline VivaceParams proteus_params() {
+  VivaceParams p;
+  p.utility.beta = 1800.0;
+  p.epsilon = 0.03;
+  p.theta0 = 0.5;
+  p.max_step_fraction = 0.1;
+  p.name = "proteus";
+  return p;
+}
+
+std::unique_ptr<Vivace> make_proteus();
+
+}  // namespace libra

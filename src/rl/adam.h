@@ -1,0 +1,83 @@
+// Adam optimizer bound to an Mlp's accumulated gradients, plus a scalar
+// variant for standalone parameters (the Gaussian policy's log-std).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "rl/mlp.h"
+
+namespace libra {
+
+struct AdamConfig {
+  double learning_rate = 3e-4;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+class AdamOptimizer {
+ public:
+  AdamOptimizer(Mlp& net, AdamConfig config = {}) : net_(net), config_(config) {
+    for (const Mlp::Layer& l : net_.layers()) {
+      m_.emplace_back(l.weights.size() + l.bias.size(), 0.0);
+      v_.emplace_back(l.weights.size() + l.bias.size(), 0.0);
+    }
+  }
+
+  /// Applies one Adam step from the gradients accumulated in the network
+  /// (optionally pre-scaled by 1/batch via `grad_scale`), then zeroes them.
+  void step(double grad_scale = 1.0) {
+    ++t_;
+    double bc1 = 1.0 - std::pow(config_.beta1, t_);
+    double bc2 = 1.0 - std::pow(config_.beta2, t_);
+    for (std::size_t li = 0; li < net_.layers().size(); ++li) {
+      Mlp::Layer& layer = net_.layers()[li];
+      std::size_t wn = layer.weights.size();
+      for (std::size_t i = 0; i < wn + layer.bias.size(); ++i) {
+        double g = (i < wn ? layer.grad_weights.data()[i] : layer.grad_bias[i - wn]) *
+                   grad_scale;
+        double& m = m_[li][i];
+        double& v = v_[li][i];
+        m = config_.beta1 * m + (1.0 - config_.beta1) * g;
+        v = config_.beta2 * v + (1.0 - config_.beta2) * g * g;
+        double update = config_.learning_rate * (m / bc1) /
+                        (std::sqrt(v / bc2) + config_.epsilon);
+        if (i < wn) {
+          layer.weights.data()[i] -= update;
+        } else {
+          layer.bias[i - wn] -= update;
+        }
+      }
+    }
+    net_.zero_gradients();
+  }
+
+ private:
+  Mlp& net_;
+  AdamConfig config_;
+  std::vector<std::vector<double>> m_, v_;
+  long t_ = 0;
+};
+
+/// Adam for a single scalar parameter.
+class ScalarAdam {
+ public:
+  explicit ScalarAdam(AdamConfig config = {}) : config_(config) {}
+
+  double step(double grad) {
+    ++t_;
+    m_ = config_.beta1 * m_ + (1.0 - config_.beta1) * grad;
+    v_ = config_.beta2 * v_ + (1.0 - config_.beta2) * grad * grad;
+    double mh = m_ / (1.0 - std::pow(config_.beta1, t_));
+    double vh = v_ / (1.0 - std::pow(config_.beta2, t_));
+    return config_.learning_rate * mh / (std::sqrt(vh) + config_.epsilon);
+  }
+
+ private:
+  AdamConfig config_;
+  double m_ = 0.0, v_ = 0.0;
+  long t_ = 0;
+};
+
+}  // namespace libra

@@ -1,0 +1,83 @@
+// Dense row-major matrix and vector helpers sized for the small MLPs used by
+// the RL congestion controllers. No external dependencies.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace libra {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  Vector& data() { return data_; }
+  const Vector& data() const { return data_; }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// y = W x  (rows x cols) * (cols) -> (rows)
+  Vector multiply(const Vector& x) const {
+    if (x.size() != cols_) throw std::invalid_argument("Matrix::multiply: dim mismatch");
+    Vector y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      double acc = 0.0;
+      const double* row = &data_[r * cols_];
+      for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+      y[r] = acc;
+    }
+    return y;
+  }
+
+  /// y = W^T x  (rows x cols)^T * (rows) -> (cols)
+  Vector multiply_transposed(const Vector& x) const {
+    if (x.size() != rows_) throw std::invalid_argument("multiply_transposed: dim mismatch");
+    Vector y(cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double* row = &data_[r * cols_];
+      for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * x[r];
+    }
+    return y;
+  }
+
+  /// this += scale * (a outer b), a has `rows` entries, b has `cols` entries.
+  void add_outer(const Vector& a, const Vector& b, double scale = 1.0) {
+    if (a.size() != rows_ || b.size() != cols_)
+      throw std::invalid_argument("add_outer: dim mismatch");
+    for (std::size_t r = 0; r < rows_; ++r) {
+      double* row = &data_[r * cols_];
+      for (std::size_t c = 0; c < cols_; ++c) row[c] += scale * a[r] * b[c];
+    }
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Vector data_;
+};
+
+inline void axpy(Vector& y, const Vector& x, double a) {
+  if (y.size() != x.size()) throw std::invalid_argument("axpy: dim mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
+}
+
+inline double dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: dim mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace libra

@@ -1,0 +1,115 @@
+#include "rl/mlp.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace libra {
+
+Mlp::Mlp(const std::vector<std::size_t>& sizes, Rng& rng) : sizes_(sizes) {
+  if (sizes.size() < 2) throw std::invalid_argument("Mlp: need at least in+out sizes");
+  for (std::size_t s : sizes)
+    if (s == 0) throw std::invalid_argument("Mlp: zero-width layer");
+  layers_.reserve(sizes.size() - 1);
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    Layer layer;
+    layer.weights = Matrix(sizes[i + 1], sizes[i]);
+    layer.bias = Vector(sizes[i + 1], 0.0);
+    layer.grad_weights = Matrix(sizes[i + 1], sizes[i]);
+    layer.grad_bias = Vector(sizes[i + 1], 0.0);
+    double bound = std::sqrt(6.0 / static_cast<double>(sizes[i] + sizes[i + 1]));
+    for (double& w : layer.weights.data()) w = rng.uniform(-bound, bound);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+Vector Mlp::forward(const Vector& input) {
+  if (input.size() != sizes_.front()) throw std::invalid_argument("Mlp: bad input size");
+  activations_.assign(1, input);
+  Vector x = input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Vector z = layers_[i].weights.multiply(x);
+    axpy(z, layers_[i].bias, 1.0);
+    if (i + 1 < layers_.size()) {
+      for (double& v : z) v = std::tanh(v);
+    }
+    activations_.push_back(z);
+    x = std::move(z);
+  }
+  return x;
+}
+
+Vector Mlp::evaluate(const Vector& input) const {
+  if (input.size() != sizes_.front()) throw std::invalid_argument("Mlp: bad input size");
+  Vector x = input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Vector z = layers_[i].weights.multiply(x);
+    axpy(z, layers_[i].bias, 1.0);
+    if (i + 1 < layers_.size()) {
+      for (double& v : z) v = std::tanh(v);
+    }
+    x = std::move(z);
+  }
+  return x;
+}
+
+Vector Mlp::backward(const Vector& grad_output) {
+  if (activations_.size() != layers_.size() + 1)
+    throw std::logic_error("Mlp::backward without a cached forward pass");
+  Vector grad = grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    // For hidden layers the cached activation is tanh(z); d tanh = 1 - a^2.
+    if (i + 1 < layers_.size()) {
+      const Vector& act = activations_[i + 1];
+      for (std::size_t j = 0; j < grad.size(); ++j) grad[j] *= 1.0 - act[j] * act[j];
+    }
+    layers_[i].grad_weights.add_outer(grad, activations_[i]);
+    axpy(layers_[i].grad_bias, grad, 1.0);
+    grad = layers_[i].weights.multiply_transposed(grad);
+  }
+  return grad;
+}
+
+void Mlp::zero_gradients() {
+  for (Layer& l : layers_) {
+    l.grad_weights.fill(0.0);
+    std::fill(l.grad_bias.begin(), l.grad_bias.end(), 0.0);
+  }
+}
+
+void Mlp::save(std::ostream& out) const {
+  out << sizes_.size();
+  for (std::size_t s : sizes_) out << ' ' << s;
+  out << '\n';
+  out.precision(17);
+  for (const Layer& l : layers_) {
+    for (double w : l.weights.data()) out << w << ' ';
+    for (double b : l.bias) out << b << ' ';
+    out << '\n';
+  }
+}
+
+void Mlp::load(std::istream& in) {
+  std::size_t n = 0;
+  in >> n;
+  if (n != sizes_.size()) throw std::runtime_error("Mlp::load: layer-count mismatch");
+  for (std::size_t expected : sizes_) {
+    std::size_t got = 0;
+    in >> got;
+    if (got != expected) throw std::runtime_error("Mlp::load: layer-size mismatch");
+  }
+  for (Layer& l : layers_) {
+    for (double& w : l.weights.data()) in >> w;
+    for (double& b : l.bias) in >> b;
+  }
+  if (!in) throw std::runtime_error("Mlp::load: truncated parameter stream");
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const Layer& l : layers_) n += l.weights.size() + l.bias.size();
+  return n;
+}
+
+}  // namespace libra

@@ -1,0 +1,58 @@
+// Multi-layer perceptron with tanh hidden activations and a linear output,
+// plus exact reverse-mode gradients — the function approximator behind the
+// PPO actor and critic (the paper uses two hidden layers; width is a knob).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "rl/matrix.h"
+#include "util/rng.h"
+
+namespace libra {
+
+class Mlp {
+ public:
+  /// `sizes` = {input, hidden..., output}. Weights get Xavier-uniform init.
+  Mlp(const std::vector<std::size_t>& sizes, Rng& rng);
+
+  /// Forward pass caching activations for a subsequent backward().
+  Vector forward(const Vector& input);
+
+  /// Forward pass without touching the gradient cache (inference-only).
+  Vector evaluate(const Vector& input) const;
+
+  /// Accumulates parameter gradients for the cached forward pass given
+  /// dLoss/dOutput; returns dLoss/dInput. Call zero_gradients() between
+  /// optimizer steps (gradients accumulate across calls, enabling batching).
+  Vector backward(const Vector& grad_output);
+
+  void zero_gradients();
+
+  std::size_t input_size() const { return sizes_.front(); }
+  std::size_t output_size() const { return sizes_.back(); }
+  std::size_t parameter_count() const;
+
+  /// Text-format parameter persistence (layer sizes must already match on
+  /// load; gradients and caches are not serialized).
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+  struct Layer {
+    Matrix weights;       // (out x in)
+    Vector bias;          // (out)
+    Matrix grad_weights;
+    Vector grad_bias;
+  };
+  std::vector<Layer>& layers() { return layers_; }
+  const std::vector<Layer>& layers() const { return layers_; }
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<Layer> layers_;
+  // Forward cache: activations_[0] is the input; activations_[i+1] is the
+  // post-activation output of layer i.
+  std::vector<Vector> activations_;
+};
+
+}  // namespace libra

@@ -1,0 +1,70 @@
+// Per-feature running normalization (Welford mean/variance), used to map raw
+// network statistics into a scale-free state vector — the "normalize these
+// statistics ... to achieve better generalization" step of Sec. 4.2.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "rl/matrix.h"
+
+namespace libra {
+
+class RunningNormalizer {
+ public:
+  explicit RunningNormalizer(std::size_t dim)
+      : mean_(dim, 0.0), m2_(dim, 0.0) {
+    if (dim == 0) throw std::invalid_argument("RunningNormalizer: dim must be > 0");
+  }
+
+  void update(const Vector& sample) {
+    if (sample.size() != mean_.size())
+      throw std::invalid_argument("RunningNormalizer: dim mismatch");
+    ++n_;
+    for (std::size_t i = 0; i < mean_.size(); ++i) {
+      double delta = sample[i] - mean_[i];
+      mean_[i] += delta / static_cast<double>(n_);
+      m2_[i] += delta * (sample[i] - mean_[i]);
+    }
+  }
+
+  /// (x - mean) / std, clipped to [-clip, clip] for stability.
+  Vector normalize(const Vector& sample, double clip = 10.0) const {
+    if (sample.size() != mean_.size())
+      throw std::invalid_argument("RunningNormalizer: dim mismatch");
+    Vector out(sample.size());
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      double var = n_ > 1 ? m2_[i] / static_cast<double>(n_ - 1) : 1.0;
+      double sd = std::sqrt(var);
+      double z = sd > 1e-9 ? (sample[i] - mean_[i]) / sd : 0.0;
+      out[i] = std::clamp(z, -clip, clip);
+    }
+    return out;
+  }
+
+  std::size_t count() const { return n_; }
+  std::size_t dim() const { return mean_.size(); }
+
+  void save(std::ostream& out) const {
+    out.precision(17);
+    out << n_;
+    for (double m : mean_) out << ' ' << m;
+    for (double v : m2_) out << ' ' << v;
+    out << '\n';
+  }
+  void load(std::istream& in) {
+    in >> n_;
+    for (double& m : mean_) in >> m;
+    for (double& v : m2_) in >> v;
+    if (!in) throw std::runtime_error("RunningNormalizer::load: truncated stream");
+  }
+
+ private:
+  Vector mean_, m2_;
+  std::size_t n_ = 0;
+};
+
+}  // namespace libra

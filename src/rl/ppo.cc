@@ -1,0 +1,176 @@
+#include "rl/ppo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace libra {
+
+namespace {
+constexpr double kHalfLog2Pi = 0.9189385332046727;  // 0.5*ln(2*pi)
+}
+
+PpoAgent::PpoAgent(PpoConfig config)
+    : config_(std::move(config)), rng_(config_.seed), log_std_(config_.init_log_std) {
+  if (config_.state_dim == 0) throw std::invalid_argument("PpoAgent: state_dim required");
+  std::vector<std::size_t> actor_sizes{config_.state_dim};
+  actor_sizes.insert(actor_sizes.end(), config_.hidden.begin(), config_.hidden.end());
+  actor_sizes.push_back(1);
+  std::vector<std::size_t> critic_sizes = actor_sizes;
+
+  actor_ = std::make_unique<Mlp>(actor_sizes, rng_);
+  critic_ = std::make_unique<Mlp>(critic_sizes, rng_);
+  actor_opt_ = std::make_unique<AdamOptimizer>(*actor_, AdamConfig{.learning_rate = config_.actor_lr});
+  critic_opt_ = std::make_unique<AdamOptimizer>(*critic_, AdamConfig{.learning_rate = config_.critic_lr});
+  buffer_.reserve(config_.horizon);
+}
+
+double PpoAgent::exploration_stddev() const { return std::exp(log_std_); }
+
+double PpoAgent::log_prob(double action, double mean) const {
+  double sd = std::exp(log_std_);
+  double z = (action - mean) / sd;
+  return -0.5 * z * z - log_std_ - kHalfLog2Pi;
+}
+
+double PpoAgent::act(const Vector& state) {
+  if (state.size() != config_.state_dim)
+    throw std::invalid_argument("PpoAgent::act: state dim mismatch");
+
+  double value = critic_->evaluate(state)[0];
+  if (buffer_.size() >= config_.horizon) update(value);
+
+  double mean = actor_->evaluate(state)[0];
+  double action = mean + std::exp(log_std_) * rng_.normal();
+
+  Transition t;
+  t.state = state;
+  t.action = action;
+  t.log_prob = log_prob(action, mean);
+  t.value = value;
+  pending_ = std::move(t);
+  return action;
+}
+
+double PpoAgent::act_greedy(const Vector& state) const {
+  if (state.size() != config_.state_dim)
+    throw std::invalid_argument("PpoAgent::act_greedy: state dim mismatch");
+  return actor_->evaluate(state)[0];
+}
+
+double PpoAgent::act_sampled(const Vector& state) {
+  if (state.size() != config_.state_dim)
+    throw std::invalid_argument("PpoAgent::act_sampled: state dim mismatch");
+  return actor_->evaluate(state)[0] + std::exp(log_std_) * rng_.normal();
+}
+
+void PpoAgent::give_reward(double reward, bool done) {
+  if (!pending_) return;  // reward with no opened transition: drop
+  pending_->reward = reward;
+  pending_->done = done;
+  buffer_.push_back(std::move(*pending_));
+  pending_.reset();
+}
+
+void PpoAgent::update(double bootstrap_value) {
+  const std::size_t n = buffer_.size();
+  if (n == 0) return;
+
+  // GAE-lambda advantages computed backward through the rollout.
+  Vector advantages(n, 0.0), returns(n, 0.0);
+  double next_value = bootstrap_value;
+  double gae = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    const Transition& t = buffer_[i];
+    double not_done = t.done ? 0.0 : 1.0;
+    double delta = t.reward + config_.gamma * next_value * not_done - t.value;
+    gae = delta + config_.gamma * config_.gae_lambda * not_done * gae;
+    advantages[i] = gae;
+    returns[i] = gae + t.value;
+    next_value = t.value;
+  }
+
+  // Normalize advantages for stable step sizes.
+  double mean = std::accumulate(advantages.begin(), advantages.end(), 0.0) /
+                static_cast<double>(n);
+  double var = 0.0;
+  for (double a : advantages) var += (a - mean) * (a - mean);
+  double sd = std::sqrt(var / static_cast<double>(n)) + 1e-8;
+  for (double& a : advantages) a = (a - mean) / sd;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng_.engine());
+    for (std::size_t start = 0; start < n; start += config_.minibatch) {
+      std::size_t end = std::min(start + config_.minibatch, n);
+      double batch = static_cast<double>(end - start);
+      double log_std_grad = 0.0;
+      double sd_now = std::exp(log_std_);
+
+      for (std::size_t k = start; k < end; ++k) {
+        const Transition& t = buffer_[order[k]];
+        double adv = advantages[order[k]];
+        double ret = returns[order[k]];
+
+        // Actor: clipped surrogate. Gradient flows only when the unclipped
+        // ratio is the active branch.
+        double mu = actor_->forward(t.state)[0];
+        double logp = log_prob(t.action, mu);
+        double ratio = std::exp(logp - t.log_prob);
+        double clipped = std::clamp(ratio, 1.0 - config_.clip_ratio,
+                                    1.0 + config_.clip_ratio);
+        bool unclipped_active = ratio * adv <= clipped * adv + 1e-12;
+        if (unclipped_active) {
+          // dL/dlogp = -adv * ratio ; dlogp/dmu = (a - mu)/sd^2
+          double dl_dlogp = -adv * ratio;
+          double dlogp_dmu = (t.action - mu) / (sd_now * sd_now);
+          actor_->backward({dl_dlogp * dlogp_dmu});
+          // dlogp/dlog_std = z^2 - 1
+          double z = (t.action - mu) / sd_now;
+          log_std_grad += dl_dlogp * (z * z - 1.0);
+        }
+        // Entropy bonus: H = log_std + const; loss -= coef*H.
+        log_std_grad -= config_.entropy_coef;
+
+        // Critic: 0.5*(V - ret)^2.
+        double v = critic_->forward(t.state)[0];
+        critic_->backward({v - ret});
+      }
+
+      actor_opt_->step(1.0 / batch);
+      critic_opt_->step(1.0 / batch);
+      log_std_ -= log_std_opt_.step(log_std_grad / batch);
+      log_std_ = std::clamp(log_std_, config_.min_log_std, config_.max_log_std);
+    }
+  }
+
+  buffer_.clear();
+  ++updates_;
+}
+
+void PpoAgent::save(std::ostream& out) const {
+  out.precision(17);
+  out << log_std_ << '\n';
+  actor_->save(out);
+  critic_->save(out);
+}
+
+void PpoAgent::load(std::istream& in) {
+  in >> log_std_;
+  actor_->load(in);
+  critic_->load(in);
+}
+
+std::int64_t PpoAgent::memory_bytes() const {
+  // Parameters (actor + critic) plus two Adam moment mirrors each.
+  auto params = static_cast<std::int64_t>(actor_->parameter_count() +
+                                          critic_->parameter_count());
+  return params * 3 * static_cast<std::int64_t>(sizeof(double));
+}
+
+}  // namespace libra

@@ -1,0 +1,99 @@
+// Proximal Policy Optimization (clipped surrogate, GAE-lambda) for a
+// continuous 1-D action — the learning algorithm behind Libra's RL component
+// (Alg. 2) and the Aurora/Orca baselines. Actor and critic are independent
+// MLPs; the Gaussian policy's log-std is a standalone learned parameter.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+
+#include "rl/adam.h"
+#include "rl/matrix.h"
+#include "rl/mlp.h"
+#include "util/rng.h"
+
+namespace libra {
+
+struct PpoConfig {
+  std::size_t state_dim = 0;                 // required
+  std::vector<std::size_t> hidden = {64, 64};  // paper uses {512,512}; width is a knob
+  double gamma = 0.95;
+  double gae_lambda = 0.95;
+  double clip_ratio = 0.2;
+  int epochs = 6;
+  std::size_t minibatch = 64;
+  std::size_t horizon = 512;  // transitions per policy update
+  double actor_lr = 3e-4;
+  double critic_lr = 1e-3;
+  double entropy_coef = 1e-3;
+  double init_log_std = -0.5;
+  double min_log_std = -3.0;
+  double max_log_std = 0.7;
+  std::uint64_t seed = 7;
+};
+
+class PpoAgent {
+ public:
+  explicit PpoAgent(PpoConfig config);
+
+  /// Samples an action for `state`, recording the transition context. May run
+  /// a policy update first if the rollout buffer is full (bootstrapping from
+  /// this state's value).
+  double act(const Vector& state);
+
+  /// Returns the policy mean without sampling or recording (inference mode).
+  double act_greedy(const Vector& state) const;
+
+  /// Samples from the policy without recording a transition: stochastic
+  /// inference, the deployment mode of systems like Orca whose occasional
+  /// unexpected decisions the paper analyzes.
+  double act_sampled(const Vector& state);
+
+  /// Completes the transition opened by the last act(). `done` marks an
+  /// episode boundary (GAE does not bootstrap across it).
+  void give_reward(double reward, bool done = false);
+
+  int update_count() const { return updates_; }
+  double exploration_stddev() const;
+  std::size_t buffered_transitions() const { return buffer_.size(); }
+
+  /// Parameters + Adam state, in bytes — feeds the overhead benchmarks.
+  std::int64_t memory_bytes() const;
+
+  const PpoConfig& config() const { return config_; }
+
+  /// Persists/restores actor, critic and log-std (optimizer state excluded).
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  struct Transition {
+    Vector state;
+    double action = 0.0;
+    double log_prob = 0.0;
+    double value = 0.0;
+    double reward = 0.0;
+    bool done = false;
+  };
+
+  void update(double bootstrap_value);
+  double log_prob(double action, double mean) const;
+
+  PpoConfig config_;
+  Rng rng_;
+  std::unique_ptr<Mlp> actor_;
+  std::unique_ptr<Mlp> critic_;
+  std::unique_ptr<AdamOptimizer> actor_opt_;
+  std::unique_ptr<AdamOptimizer> critic_opt_;
+  double log_std_;
+  ScalarAdam log_std_opt_;
+
+  std::vector<Transition> buffer_;
+  std::optional<Transition> pending_;
+  int updates_ = 0;
+};
+
+}  // namespace libra

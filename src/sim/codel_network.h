@@ -1,0 +1,66 @@
+// Dumbbell network over a CoDel bottleneck — the AQM counterpart of Network,
+// used by the CoDel ablation (Sec. 2's "CUBIC needs CoDel in the network to
+// get low delay; Libra gets it at the endpoint").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/codel_queue.h"
+#include "sim/event_queue.h"
+#include "sim/flow.h"
+
+namespace libra {
+
+class CodelNetwork {
+ public:
+  explicit CodelNetwork(CodelConfig config)
+      : link_(std::make_unique<CodelQueue>(events_, std::move(config))) {
+    link_->set_deliver([this](const Packet& pkt) {
+      deliveries_.add(events_.now(), static_cast<double>(pkt.bytes));
+      auto idx = static_cast<std::size_t>(pkt.flow_id);
+      if (idx >= flows_.size()) return;
+      Packet acked = pkt;
+      events_.schedule_in(ack_delay_, [this, acked, idx] {
+        flows_[idx]->sender().on_ack_packet(acked);
+      });
+    });
+  }
+
+  int add_flow(std::unique_ptr<CongestionControl> cca, SimTime start_time = 0) {
+    int id = static_cast<int>(flows_.size());
+    SenderConfig cfg;
+    cfg.flow_id = id;
+    cfg.start_time = start_time;
+    auto flow = std::make_unique<Flow>(events_, cfg, std::move(cca));
+    flow->sender().set_transmit([this](Packet pkt) { link_->send(std::move(pkt)); });
+    flows_.push_back(std::move(flow));
+    return id;
+  }
+
+  void run_until(SimTime t) {
+    if (!started_) {
+      started_ = true;
+      for (auto& f : flows_) f->sender().start();
+    }
+    events_.run_until(t);
+  }
+
+  Flow& flow(int i) { return *flows_.at(static_cast<std::size_t>(i)); }
+  CodelQueue& link() { return *link_; }
+  EventQueue& events() { return events_; }
+
+  double delivered_bytes_in(SimTime t0, SimTime t1) const {
+    return deliveries_.sum_in(t0, t1);
+  }
+
+ private:
+  EventQueue events_;
+  std::unique_ptr<CodelQueue> link_;
+  std::vector<std::unique_ptr<Flow>> flows_;
+  SimDuration ack_delay_ = msec(15);
+  TimeSeries deliveries_;
+  bool started_ = false;
+};
+
+}  // namespace libra

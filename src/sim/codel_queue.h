@@ -1,0 +1,162 @@
+// CoDel active queue management (Nichols & Jacobson, CACM 2012).
+//
+// The paper motivates Libra by noting CUBIC can only keep queueing delay low
+// with AQM support like CoDel, "which requires changes in the network devices
+// and incurs extra costs" (Sec. 2). This queue discipline implements CoDel so
+// that claim can be tested: bench/ablation runs compare CUBIC-under-CoDel
+// with Libra-under-droptail.
+//
+// Algorithm: track each packet's sojourn time; once the sojourn stays above
+// `target` for an `interval`, enter dropping state and drop head packets at
+// intervals shrinking with the square root of the drop count (the control
+// law), until the sojourn falls below target.
+#pragma once
+
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "sim/packet.h"
+#include "trace/rate_trace.h"
+#include "util/rng.h"
+
+namespace libra {
+
+struct CodelConfig {
+  std::shared_ptr<RateTrace> capacity;       // required
+  std::int64_t buffer_bytes = 1'000'000;     // hard cap behind CoDel
+  SimDuration propagation_delay = msec(15);
+  SimDuration target = msec(5);              // acceptable standing sojourn
+  SimDuration interval = msec(100);          // sliding window (~worst-case RTT)
+  double stochastic_loss = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class CodelQueue {
+ public:
+  using DeliverFn = std::function<void(const Packet&)>;
+  using DropFn = std::function<void(const Packet&)>;
+
+  CodelQueue(EventQueue& events, CodelConfig config)
+      : events_(events), config_(std::move(config)), rng_(config_.seed) {
+    if (!config_.capacity) throw std::invalid_argument("CodelQueue: capacity required");
+  }
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  void set_drop(DropFn fn) { drop_ = std::move(fn); }
+
+  void send(Packet pkt) {
+    if (config_.stochastic_loss > 0 && rng_.chance(config_.stochastic_loss)) {
+      if (drop_) drop_(pkt);
+      return;
+    }
+    if (queue_bytes_ + pkt.bytes > config_.buffer_bytes) {
+      if (drop_) drop_(pkt);
+      return;
+    }
+    pkt.enqueue_time = events_.now();
+    queue_bytes_ += pkt.bytes;
+    queue_.push_back(pkt);
+    if (!transmitting_) schedule_dequeue();
+  }
+
+  std::int64_t queue_bytes() const { return queue_bytes_; }
+  std::int64_t codel_drops() const { return codel_drops_; }
+
+ private:
+  void schedule_dequeue() {
+    if (queue_.empty()) {
+      transmitting_ = false;
+      return;
+    }
+    transmitting_ = true;
+    RateBps rate = config_.capacity->rate_at(events_.now());
+    if (rate < 1000.0) {
+      events_.schedule_in(msec(5), [this] { schedule_dequeue(); });
+      return;
+    }
+    SimDuration tx = transmission_time(queue_.front().bytes, rate);
+    events_.schedule_in(tx, [this] { dequeue_head(); });
+  }
+
+  /// CoDel's decision point is at *dequeue*: examine the head's sojourn time
+  /// and possibly drop it (repeatedly) before forwarding the survivor.
+  void dequeue_head() {
+    while (!queue_.empty()) {
+      Packet pkt = queue_.front();
+      queue_.pop_front();
+      queue_bytes_ -= pkt.bytes;
+      if (!should_drop(pkt)) {
+        if (deliver_) {
+          events_.schedule_in(config_.propagation_delay,
+                              [this, pkt] { deliver_(pkt); });
+        }
+        break;
+      }
+      ++codel_drops_;
+      if (drop_) drop_(pkt);
+    }
+    schedule_dequeue();
+  }
+
+  bool should_drop(const Packet& pkt) {
+    const SimTime now = events_.now();
+    SimDuration sojourn = now - pkt.enqueue_time;
+
+    if (sojourn < config_.target || queue_bytes_ < 2 * kDefaultPacketBytes) {
+      // Sojourn dipped below target: leave dropping state.
+      first_above_ = 0;
+      dropping_ = false;
+      return false;
+    }
+
+    if (!dropping_) {
+      if (first_above_ == 0) {
+        first_above_ = now + config_.interval;
+        return false;
+      }
+      if (now < first_above_) return false;
+      // Sojourn exceeded target for a full interval: start dropping.
+      dropping_ = true;
+      // Control-law memory: restart close to the last drop rate if we were
+      // dropping recently.
+      drop_count_ = (now - drop_next_ < 16 * config_.interval && drop_count_ > 2)
+                        ? drop_count_ - 2
+                        : 1;
+      drop_next_ = now + control_law(config_.interval, drop_count_);
+      return true;
+    }
+
+    if (now >= drop_next_) {
+      ++drop_count_;
+      drop_next_ = now + control_law(config_.interval, drop_count_);
+      return true;
+    }
+    return false;
+  }
+
+  static SimDuration control_law(SimDuration interval, std::int64_t count) {
+    return static_cast<SimDuration>(
+        static_cast<double>(interval) / std::sqrt(static_cast<double>(count)));
+  }
+
+  EventQueue& events_;
+  CodelConfig config_;
+  Rng rng_;
+  std::deque<Packet> queue_;
+  std::int64_t queue_bytes_ = 0;
+  bool transmitting_ = false;
+  DeliverFn deliver_;
+  DropFn drop_;
+
+  // CoDel state.
+  bool dropping_ = false;
+  SimTime first_above_ = 0;
+  SimTime drop_next_ = 0;
+  std::int64_t drop_count_ = 0;
+  std::int64_t codel_drops_ = 0;
+};
+
+}  // namespace libra

@@ -1,0 +1,74 @@
+// The congestion-control interface every algorithm in this repo implements —
+// classic (CUBIC, BBR, ...), learned (Aurora, Vivace, ...), and the Libra
+// controller itself. It mirrors what the Linux kernel/QUIC stacks expose:
+// per-ACK and per-loss callbacks plus a cwnd and an optional pacing rate.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/types.h"
+
+namespace libra {
+
+/// Feedback delivered to the CCA for every acknowledged packet.
+struct AckEvent {
+  SimTime now = 0;
+  std::uint64_t seq = 0;
+  SimTime sent_time = 0;
+  SimDuration rtt = 0;
+  std::int64_t acked_bytes = 0;
+  std::int64_t bytes_in_flight = 0;  // after removing this packet
+  /// BBR-style delivery rate sample (bits/s); 0 when not yet measurable.
+  RateBps delivery_rate = 0;
+  SimDuration min_rtt = 0;           // sender's lifetime minimum
+};
+
+/// Feedback delivered once per packet deemed lost.
+struct LossEvent {
+  SimTime now = 0;
+  std::uint64_t seq = 0;
+  SimTime sent_time = 0;
+  std::int64_t lost_bytes = 0;
+  std::int64_t bytes_in_flight = 0;  // after removing this packet
+  bool from_timeout = false;
+};
+
+struct SendEvent {
+  SimTime now = 0;
+  std::uint64_t seq = 0;
+  std::int64_t bytes = 0;
+  std::int64_t bytes_in_flight = 0;  // including this packet
+};
+
+inline constexpr std::int64_t kInfiniteCwnd = std::numeric_limits<std::int64_t>::max() / 4;
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual void on_packet_sent(const SendEvent&) {}
+  virtual void on_ack(const AckEvent& ack) = 0;
+  virtual void on_loss(const LossEvent& loss) = 0;
+
+  /// Called on the sender's periodic timer (every ~10 ms of sim time); lets
+  /// time-driven algorithms (monitor intervals, BBR's ProbeRTT) advance even
+  /// when no ACKs arrive.
+  virtual void on_tick(SimTime /*now*/) {}
+
+  /// Pacing rate in bits/s; return 0 to let the sender derive pacing from the
+  /// congestion window (classic window-driven behaviour).
+  virtual RateBps pacing_rate() const = 0;
+
+  /// Congestion window in bytes. Rate-based algorithms return kInfiniteCwnd.
+  virtual std::int64_t cwnd_bytes() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Approximate resident memory of the algorithm's state (model parameters
+  /// dominate for learned CCAs); feeds the overhead benchmarks.
+  virtual std::int64_t memory_bytes() const { return 256; }
+};
+
+}  // namespace libra

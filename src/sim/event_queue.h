@@ -1,0 +1,67 @@
+// Discrete-event scheduler.
+//
+// Events are totally ordered by (time, insertion sequence) so simulations are
+// deterministic: two events at the same instant fire in the order they were
+// scheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.h"
+
+namespace libra {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  void schedule_at(SimTime t, Callback cb) {
+    if (t < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
+    heap_.push(Event{t, next_seq_++, std::move(cb)});
+  }
+
+  void schedule_in(SimDuration d, Callback cb) { schedule_at(now_ + d, std::move(cb)); }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Executes the earliest event; returns false when the queue is empty.
+  bool run_next() {
+    if (heap_.empty()) return false;
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ev.callback();
+    return true;
+  }
+
+  /// Runs every event with time <= t, then advances the clock to exactly t.
+  void run_until(SimTime t) {
+    while (!heap_.empty() && heap_.top().time <= t) run_next();
+    if (t > now_) now_ = t;
+  }
+
+  void run_for(SimDuration d) { run_until(now_ + d); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback callback;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace libra

@@ -1,0 +1,81 @@
+// A flow couples a Sender with the measurement the evaluation needs:
+// per-ACK throughput/RTT series, loss accounting, and summary metrics.
+#pragma once
+
+#include <memory>
+
+#include "sim/sender.h"
+#include "stats/summary.h"
+#include "stats/timeseries.h"
+
+namespace libra {
+
+struct FlowMetrics {
+  std::int64_t packets_sent = 0;
+  std::int64_t packets_acked = 0;
+  std::int64_t packets_lost = 0;
+  std::int64_t bytes_acked = 0;
+  RunningStats rtt_ms;  // per-ACK RTT samples, milliseconds
+
+  double loss_rate() const {
+    return packets_sent > 0
+               ? static_cast<double>(packets_lost) / static_cast<double>(packets_sent)
+               : 0.0;
+  }
+
+  /// Goodput over a window (bits/s).
+  static double throughput_bps(std::int64_t bytes, SimDuration window) {
+    return window > 0 ? static_cast<double>(bytes) * 8.0 / to_seconds(window) : 0.0;
+  }
+};
+
+class Flow {
+ public:
+  Flow(EventQueue& events, SenderConfig config,
+       std::unique_ptr<CongestionControl> cca)
+      : sender_(std::make_unique<Sender>(events, config, std::move(cca))) {
+    sender_->ack_observer = [this](const AckEvent& ev) {
+      metrics_.packets_acked++;
+      metrics_.bytes_acked += ev.acked_bytes;
+      metrics_.rtt_ms.add(to_msec(ev.rtt));
+      acked_bytes_series_.add(ev.now, static_cast<double>(ev.acked_bytes));
+      rtt_series_.add(ev.now, to_msec(ev.rtt));
+    };
+    sender_->loss_observer = [this](const LossEvent& ev) {
+      metrics_.packets_lost++;
+      loss_series_.add(ev.now, static_cast<double>(ev.lost_bytes));
+    };
+    sender_->send_observer = [this](const SendEvent&) { metrics_.packets_sent++; };
+  }
+
+  Sender& sender() { return *sender_; }
+  const Sender& sender() const { return *sender_; }
+  const FlowMetrics& metrics() const { return metrics_; }
+
+  /// (ack time, acked bytes) — bin with TimeSeries::to_rate_bins for
+  /// throughput-over-time plots.
+  const TimeSeries& acked_bytes_series() const { return acked_bytes_series_; }
+  const TimeSeries& rtt_series() const { return rtt_series_; }
+  /// (loss detection time, lost bytes).
+  const TimeSeries& loss_series() const { return loss_series_; }
+
+  /// Goodput over [t0, t1) in bits/s.
+  double throughput_in(SimTime t0, SimTime t1) const {
+    return FlowMetrics::throughput_bps(
+        static_cast<std::int64_t>(acked_bytes_series_.sum_in(t0, t1)), t1 - t0);
+  }
+
+  /// Mean RTT (ms) over acks in [t0, t1).
+  double mean_rtt_in(SimTime t0, SimTime t1) const {
+    return rtt_series_.mean_in(t0, t1);
+  }
+
+ private:
+  std::unique_ptr<Sender> sender_;
+  FlowMetrics metrics_;
+  TimeSeries acked_bytes_series_;
+  TimeSeries rtt_series_;
+  TimeSeries loss_series_;
+};
+
+}  // namespace libra

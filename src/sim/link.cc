@@ -1,0 +1,68 @@
+#include "sim/link.h"
+
+#include <stdexcept>
+
+namespace libra {
+
+namespace {
+// When the trace momentarily reports (near-)zero capacity, poll again instead
+// of computing an infinite serialization time.
+constexpr RateBps kMinServiceRate = 1000.0;  // 1 kbps
+constexpr SimDuration kStallRetry = msec(5);
+}  // namespace
+
+DropTailLink::DropTailLink(EventQueue& events, LinkConfig config)
+    : events_(events), config_(std::move(config)), rng_(config_.seed) {
+  if (!config_.capacity) throw std::invalid_argument("DropTailLink: capacity trace required");
+  if (config_.buffer_bytes <= 0) throw std::invalid_argument("DropTailLink: buffer must be > 0");
+}
+
+void DropTailLink::send(Packet pkt) {
+  // Stochastic wire loss models random (non-congestive) drops; it happens
+  // before queueing, exactly like Mahimahi's --uplink-loss.
+  if (config_.stochastic_loss > 0 && rng_.chance(config_.stochastic_loss)) {
+    if (drop_) drop_(pkt);
+    return;
+  }
+  if (queue_bytes_ + pkt.bytes > config_.buffer_bytes) {
+    if (drop_) drop_(pkt);
+    return;
+  }
+  pkt.enqueue_time = events_.now();
+  queue_bytes_ += pkt.bytes;
+  queue_.push_back(pkt);
+  if (!transmitting_) schedule_dequeue();
+}
+
+void DropTailLink::schedule_dequeue() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  RateBps rate = config_.capacity->rate_at(events_.now());
+  if (rate < kMinServiceRate) {
+    // Capacity outage: re-check shortly; the head packet stays queued.
+    events_.schedule_in(kStallRetry, [this] { schedule_dequeue(); });
+    return;
+  }
+  SimDuration tx = transmission_time(queue_.front().bytes, rate);
+  events_.schedule_in(tx, [this] { dequeue_head(); });
+}
+
+void DropTailLink::dequeue_head() {
+  Packet pkt = queue_.front();
+  queue_.pop_front();
+  queue_bytes_ -= pkt.bytes;
+  delivered_bytes_ += pkt.bytes;
+  // Propagation happens after serialization; delivery of this packet and the
+  // start of the next transmission are independent events.
+  if (deliver_) {
+    Packet delivered = pkt;
+    events_.schedule_in(config_.propagation_delay,
+                        [this, delivered] { deliver_(delivered); });
+  }
+  schedule_dequeue();
+}
+
+}  // namespace libra

@@ -1,0 +1,63 @@
+// Bottleneck link with a droptail (FIFO, byte-limited) queue, trace-driven
+// time-varying capacity, stochastic wire loss and fixed propagation delay.
+// This is the simulator's stand-in for a Mahimahi link shell.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "sim/packet.h"
+#include "trace/rate_trace.h"
+#include "util/rng.h"
+
+namespace libra {
+
+struct LinkConfig {
+  std::shared_ptr<RateTrace> capacity;          // required
+  std::int64_t buffer_bytes = 150 * 1000;       // droptail queue limit
+  SimDuration propagation_delay = msec(15);     // one-way, after serialization
+  double stochastic_loss = 0.0;                 // P(drop on the wire)
+  std::uint64_t seed = 1;
+};
+
+class DropTailLink {
+ public:
+  /// Called when a packet exits the far end of the link.
+  using DeliverFn = std::function<void(const Packet&)>;
+  /// Called when a packet is dropped (queue overflow or stochastic loss).
+  using DropFn = std::function<void(const Packet&)>;
+
+  DropTailLink(EventQueue& events, LinkConfig config);
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  void set_drop(DropFn fn) { drop_ = std::move(fn); }
+
+  /// Offers a packet to the link; tail-drops if the buffer is full.
+  void send(Packet pkt);
+
+  std::int64_t queue_bytes() const { return queue_bytes_; }
+  std::size_t queue_packets() const { return queue_.size(); }
+  const RateTrace& capacity() const { return *config_.capacity; }
+  const LinkConfig& config() const { return config_; }
+
+  /// Total bytes that exited the link (for utilization accounting).
+  std::int64_t delivered_bytes() const { return delivered_bytes_; }
+
+ private:
+  void schedule_dequeue();
+  void dequeue_head();
+
+  EventQueue& events_;
+  LinkConfig config_;
+  Rng rng_;
+  std::deque<Packet> queue_;
+  std::int64_t queue_bytes_ = 0;
+  std::int64_t delivered_bytes_ = 0;
+  bool transmitting_ = false;
+  DeliverFn deliver_;
+  DropFn drop_;
+};
+
+}  // namespace libra

@@ -1,0 +1,57 @@
+#include "sim/network.h"
+
+#include <stdexcept>
+
+namespace libra {
+
+Network::Network(LinkConfig link_config) {
+  link_ = std::make_unique<DropTailLink>(events_, std::move(link_config));
+  link_->set_deliver([this](const Packet& pkt) {
+    deliveries_.add(events_.now(), static_cast<double>(pkt.bytes));
+    auto idx = static_cast<std::size_t>(pkt.flow_id);
+    if (idx >= flows_.size()) return;
+    // Receiver immediately acks; the ACK crosses the (uncongested) return
+    // path and reaches the sender after this flow's ack delay.
+    SimDuration delay = ack_delays_[idx];
+    Packet acked = pkt;
+    events_.schedule_in(delay, [this, acked, idx] {
+      flows_[idx]->sender().on_ack_packet(acked);
+    });
+  });
+  // Drops are silent at the sender until loss detection notices the gap,
+  // exactly as on a real path.
+}
+
+int Network::add_flow(std::unique_ptr<CongestionControl> cca, SimTime start_time,
+                      SimTime stop_time, SimDuration extra_ack_delay,
+                      SenderConfig base_config) {
+  if (started_) throw std::logic_error("Network: add_flow after run started");
+  int id = static_cast<int>(flows_.size());
+  SenderConfig cfg = base_config;
+  cfg.flow_id = id;
+  cfg.start_time = start_time;
+  cfg.stop_time = stop_time;
+  auto flow = std::make_unique<Flow>(events_, cfg, std::move(cca));
+  flow->sender().set_transmit([this](Packet pkt) { link_->send(std::move(pkt)); });
+  flows_.push_back(std::move(flow));
+  ack_delays_.push_back(link_->config().propagation_delay + extra_ack_delay);
+  return id;
+}
+
+void Network::run_until(SimTime t) {
+  if (!started_) {
+    started_ = true;
+    for (auto& f : flows_) f->sender().start();
+  }
+  events_.run_until(t);
+}
+
+double Network::link_utilization(SimTime t0, SimTime t1) const {
+  if (t1 <= t0) return 0.0;
+  double delivered_bits = deliveries_.sum_in(t0, t1) * 8.0;
+  double capacity_bits = link_->capacity().average_rate(t0, t1) * to_seconds(t1 - t0);
+  if (capacity_bits <= 0) return 0.0;
+  return std::min(1.0, delivered_bits / capacity_bits);
+}
+
+}  // namespace libra

@@ -1,0 +1,52 @@
+// Dumbbell topology: N sender/receiver pairs sharing one droptail bottleneck,
+// with per-flow return-path delay. This is the shape of every experiment in
+// the paper (Pantheon/Mahimahi emulation and the EC2 paths alike).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/flow.h"
+#include "sim/link.h"
+
+namespace libra {
+
+class Network {
+ public:
+  explicit Network(LinkConfig link_config);
+
+  /// Adds a backlogged flow driven by `cca`. `extra_ack_delay` lengthens this
+  /// flow's return path beyond the link's propagation delay (heterogeneous
+  /// RTTs). Returns the flow index.
+  int add_flow(std::unique_ptr<CongestionControl> cca, SimTime start_time = 0,
+               SimTime stop_time = kSimTimeMax, SimDuration extra_ack_delay = 0,
+               SenderConfig base_config = {});
+
+  /// Starts every flow and runs the event loop until `t`.
+  void run_until(SimTime t);
+
+  EventQueue& events() { return events_; }
+  DropTailLink& link() { return *link_; }
+  Flow& flow(int i) { return *flows_.at(static_cast<std::size_t>(i)); }
+  const Flow& flow(int i) const { return *flows_.at(static_cast<std::size_t>(i)); }
+  int flow_count() const { return static_cast<int>(flows_.size()); }
+
+  /// Aggregate bytes delivered to receivers in [t0, t1).
+  double delivered_bytes_in(SimTime t0, SimTime t1) const {
+    return deliveries_.sum_in(t0, t1);
+  }
+
+  /// Fraction of the bottleneck capacity actually used over [t0, t1).
+  double link_utilization(SimTime t0, SimTime t1) const;
+
+ private:
+  EventQueue events_;
+  std::unique_ptr<DropTailLink> link_;
+  std::vector<std::unique_ptr<Flow>> flows_;
+  std::vector<SimDuration> ack_delays_;
+  TimeSeries deliveries_;  // (arrival time at receiver, bytes)
+  bool started_ = false;
+};
+
+}  // namespace libra

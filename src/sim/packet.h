@@ -1,0 +1,23 @@
+// The unit of transmission in the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace libra {
+
+struct Packet {
+  int flow_id = 0;
+  std::uint64_t seq = 0;       // per-flow packet number (QUIC-style, monotonic)
+  std::int64_t bytes = kDefaultPacketBytes;
+  SimTime sent_time = 0;       // when the sender handed it to the link
+  SimTime enqueue_time = 0;    // when it entered the bottleneck queue
+
+  // Delivery-rate sampling context (BBR-style rate sampler): snapshot of the
+  // sender's delivered counter when this packet left.
+  std::int64_t delivered_at_send = 0;
+  SimTime delivered_time_at_send = 0;
+};
+
+}  // namespace libra

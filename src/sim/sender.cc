@@ -1,0 +1,193 @@
+#include "sim/sender.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace libra {
+
+Sender::Sender(EventQueue& events, SenderConfig config,
+               std::unique_ptr<CongestionControl> cca)
+    : events_(events), config_(config), cca_(std::move(cca)) {
+  if (!cca_) throw std::invalid_argument("Sender: congestion controller required");
+  if (config_.packet_bytes <= 0) throw std::invalid_argument("Sender: bad packet size");
+}
+
+void Sender::start() {
+  if (started_) return;
+  started_ = true;
+  SimTime at = std::max(config_.start_time, events_.now());
+  events_.schedule_at(at, [this] {
+    next_send_time_ = events_.now();
+    maybe_send();
+    on_tick();
+  });
+}
+
+void Sender::replace_cca(std::unique_ptr<CongestionControl> cca) {
+  if (!cca) throw std::invalid_argument("Sender: null controller");
+  cca_ = std::move(cca);
+}
+
+RateBps Sender::effective_pacing_rate() const {
+  RateBps rate = cca_->pacing_rate();
+  if (rate <= 0) {
+    // Window-driven CCA: pace one cwnd per SRTT with a 25% headroom so the
+    // window, not the pacer, is the binding constraint (as Linux does).
+    if (srtt_ <= 0) return 0;  // pre-handshake: send unpaced up to cwnd
+    rate = 1.25 * static_cast<double>(cca_->cwnd_bytes()) * 8.0 / to_seconds(srtt_);
+  }
+  return std::max(rate, config_.min_pacing_rate);
+}
+
+void Sender::maybe_send() {
+  const SimTime now = events_.now();
+  if (now < config_.start_time || now >= config_.stop_time) return;
+
+  while (true) {
+    if (bytes_in_flight_ + config_.packet_bytes > cca_->cwnd_bytes()) return;
+
+    RateBps rate = effective_pacing_rate();
+    if (rate > 0) {
+      // Don't accumulate sending credit across idle periods.
+      if (next_send_time_ < now) next_send_time_ = now;
+      if (next_send_time_ > now) {
+        if (!send_event_scheduled_) {
+          send_event_scheduled_ = true;
+          events_.schedule_at(next_send_time_, [this] {
+            send_event_scheduled_ = false;
+            maybe_send();
+          });
+        }
+        return;
+      }
+      transmit_one();
+      next_send_time_ += transmission_time(config_.packet_bytes, rate);
+    } else {
+      transmit_one();  // unpaced: window-limited burst
+    }
+  }
+}
+
+void Sender::transmit_one() {
+  const SimTime now = events_.now();
+  Packet pkt;
+  pkt.flow_id = config_.flow_id;
+  pkt.seq = next_seq_++;
+  pkt.bytes = config_.packet_bytes;
+  pkt.sent_time = now;
+  pkt.delivered_at_send = delivered_bytes_;
+  pkt.delivered_time_at_send = delivered_time_ > 0 ? delivered_time_ : now;
+
+  outstanding_[pkt.seq] = {now, pkt.bytes, pkt.delivered_at_send,
+                           pkt.delivered_time_at_send};
+  bytes_in_flight_ += pkt.bytes;
+  ++packets_sent_;
+
+  SendEvent ev{now, pkt.seq, pkt.bytes, bytes_in_flight_};
+  cca_->on_packet_sent(ev);
+  if (send_observer) send_observer(ev);
+  if (transmit_) transmit_(pkt);
+}
+
+void Sender::update_rtt(SimDuration sample) {
+  if (sample <= 0) sample = 1;
+  if (min_rtt_ == 0 || sample < min_rtt_) min_rtt_ = sample;
+  if (srtt_ == 0) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    SimDuration err = std::abs(srtt_ - sample);
+    rttvar_ += (err - rttvar_) / 4;
+    srtt_ += (sample - srtt_) / 8;
+  }
+}
+
+SimDuration Sender::rto() const {
+  if (srtt_ == 0) return sec(1);
+  SimDuration candidate = srtt_ + std::max<SimDuration>(4 * rttvar_, msec(10));
+  return std::clamp<SimDuration>(candidate, config_.min_rto, sec(10));
+}
+
+void Sender::on_ack_packet(const Packet& pkt) {
+  const SimTime now = events_.now();
+  auto it = outstanding_.find(pkt.seq);
+  if (it == outstanding_.end()) return;  // already declared lost: spurious
+
+  const Outstanding info = it->second;
+  outstanding_.erase(it);
+  bytes_in_flight_ -= info.bytes;
+  ++packets_acked_;
+
+  SimDuration rtt = now - info.sent_time;
+  update_rtt(rtt);
+  delivered_bytes_ += info.bytes;
+  delivered_time_ = now;
+
+  RateBps delivery_rate = 0;
+  SimDuration interval = now - info.delivered_time_at_send;
+  if (interval > 0 && delivered_bytes_ > info.delivered_at_send) {
+    delivery_rate = static_cast<double>(delivered_bytes_ - info.delivered_at_send) *
+                    8.0 / to_seconds(interval);
+  }
+
+  highest_acked_ = std::max(highest_acked_, pkt.seq);
+  any_acked_ = true;
+
+  AckEvent ev{now, pkt.seq, info.sent_time, rtt, info.bytes,
+              bytes_in_flight_, delivery_rate, min_rtt_};
+  cca_->on_ack(ev);
+  if (ack_observer) ack_observer(ev);
+
+  detect_packet_threshold_losses();
+  maybe_send();
+}
+
+void Sender::detect_packet_threshold_losses() {
+  if (!any_acked_) return;
+  // FIFO bottleneck + in-order ACK path: a packet trailing the highest ACK by
+  // the reorder threshold is gone.
+  while (!outstanding_.empty()) {
+    auto it = outstanding_.begin();
+    if (it->first + static_cast<std::uint64_t>(config_.reorder_threshold) >
+        highest_acked_)
+      break;
+    Outstanding info = it->second;
+    std::uint64_t seq = it->first;
+    outstanding_.erase(it);
+    declare_lost(seq, info, /*from_timeout=*/false);
+  }
+}
+
+void Sender::detect_rto_losses() {
+  const SimTime now = events_.now();
+  const SimDuration timeout = rto();
+  while (!outstanding_.empty()) {
+    auto it = outstanding_.begin();
+    if (now - it->second.sent_time < timeout) break;
+    Outstanding info = it->second;
+    std::uint64_t seq = it->first;
+    outstanding_.erase(it);
+    declare_lost(seq, info, /*from_timeout=*/true);
+  }
+}
+
+void Sender::declare_lost(std::uint64_t seq, const Outstanding& info,
+                          bool from_timeout) {
+  bytes_in_flight_ -= info.bytes;
+  ++packets_lost_;
+  LossEvent ev{events_.now(), seq, info.sent_time, info.bytes,
+               bytes_in_flight_, from_timeout};
+  cca_->on_loss(ev);
+  if (loss_observer) loss_observer(ev);
+}
+
+void Sender::on_tick() {
+  const SimTime now = events_.now();
+  if (now >= config_.stop_time) return;
+  detect_rto_losses();
+  cca_->on_tick(now);
+  maybe_send();
+  events_.schedule_in(config_.tick_interval, [this] { on_tick(); });
+}
+
+}  // namespace libra

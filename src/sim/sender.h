@@ -1,0 +1,116 @@
+// Transport sender endpoint.
+//
+// Models a backlogged (always-has-data) flow: QUIC-style monotonically
+// increasing packet numbers, per-packet ACKs, packet-threshold and
+// RTO-based loss detection, SRTT/RTTVAR estimation, BBR-style delivery-rate
+// sampling, and token-less pacing driven by the congestion controller's
+// pacing rate (or derived from cwnd/SRTT for purely window-based CCAs).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "sim/congestion_control.h"
+#include "sim/event_queue.h"
+#include "sim/packet.h"
+
+namespace libra {
+
+struct SenderConfig {
+  int flow_id = 0;
+  std::int64_t packet_bytes = kDefaultPacketBytes;
+  SimTime start_time = 0;
+  SimTime stop_time = kSimTimeMax;
+  SimDuration tick_interval = msec(10);
+  SimDuration min_rto = msec(300);
+  /// Packet-number distance after which an unacked packet is declared lost.
+  int reorder_threshold = 3;
+  /// Floor on the effective pacing rate so a misbehaving controller cannot
+  /// silence the flow entirely (matches the minimum rates learned agents use).
+  RateBps min_pacing_rate = kbps(64);
+};
+
+class Sender {
+ public:
+  using TransmitFn = std::function<void(Packet)>;
+
+  Sender(EventQueue& events, SenderConfig config,
+         std::unique_ptr<CongestionControl> cca);
+
+  /// Wires the sender to the network; must be called before start().
+  void set_transmit(TransmitFn fn) { transmit_ = std::move(fn); }
+
+  /// Schedules the first send and the periodic tick at config.start_time.
+  void start();
+
+  /// Invoked by the network when the ACK for `pkt` reaches the sender.
+  void on_ack_packet(const Packet& pkt);
+
+  CongestionControl& cca() { return *cca_; }
+  const CongestionControl& cca() const { return *cca_; }
+
+  /// Replaces the congestion controller mid-flow (used by A/B harnesses).
+  void replace_cca(std::unique_ptr<CongestionControl> cca);
+
+  std::int64_t bytes_in_flight() const { return bytes_in_flight_; }
+  std::int64_t packets_sent() const { return packets_sent_; }
+  std::int64_t packets_acked() const { return packets_acked_; }
+  std::int64_t packets_lost() const { return packets_lost_; }
+  SimDuration smoothed_rtt() const { return srtt_; }
+  SimDuration min_rtt() const { return min_rtt_; }
+  const SenderConfig& config() const { return config_; }
+
+  // Observers (may be empty). Fired after the CCA sees the same event.
+  std::function<void(const AckEvent&)> ack_observer;
+  std::function<void(const LossEvent&)> loss_observer;
+  std::function<void(const SendEvent&)> send_observer;
+
+ private:
+  struct Outstanding {
+    SimTime sent_time = 0;
+    std::int64_t bytes = 0;
+    std::int64_t delivered_at_send = 0;
+    SimTime delivered_time_at_send = 0;
+  };
+
+  void maybe_send();
+  void transmit_one();
+  void on_tick();
+  void detect_packet_threshold_losses();
+  void detect_rto_losses();
+  void declare_lost(std::uint64_t seq, const Outstanding& info, bool from_timeout);
+  void update_rtt(SimDuration sample);
+  SimDuration rto() const;
+  RateBps effective_pacing_rate() const;
+
+  EventQueue& events_;
+  SenderConfig config_;
+  std::unique_ptr<CongestionControl> cca_;
+  TransmitFn transmit_;
+
+  std::map<std::uint64_t, Outstanding> outstanding_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t highest_acked_ = 0;
+  bool any_acked_ = false;
+  std::int64_t bytes_in_flight_ = 0;
+
+  // RTT estimation (RFC 6298 style).
+  SimDuration srtt_ = 0;
+  SimDuration rttvar_ = 0;
+  SimDuration min_rtt_ = 0;
+
+  // Delivery-rate sampling.
+  std::int64_t delivered_bytes_ = 0;
+  SimTime delivered_time_ = 0;
+
+  SimTime next_send_time_ = 0;
+  bool send_event_scheduled_ = false;
+  bool started_ = false;
+
+  std::int64_t packets_sent_ = 0;
+  std::int64_t packets_acked_ = 0;
+  std::int64_t packets_lost_ = 0;
+};
+
+}  // namespace libra

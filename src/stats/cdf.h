@@ -1,0 +1,50 @@
+// Empirical CDF over a sample set (paper Fig. 2(b)).
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace libra {
+
+class Cdf {
+ public:
+  void add(double sample) { samples_.push_back(sample); sorted_ = false; }
+
+  std::size_t count() const { return samples_.size(); }
+
+  /// Fraction of samples <= x.
+  double fraction_below(double x) const {
+    ensure_sorted();
+    if (samples_.empty()) throw std::logic_error("Cdf: no samples");
+    auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+  }
+
+  /// Value at quantile q in [0,1].
+  double quantile(double q) const {
+    ensure_sorted();
+    if (samples_.empty()) throw std::logic_error("Cdf: no samples");
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("Cdf: quantile out of range");
+    auto idx = static_cast<std::size_t>(q * static_cast<double>(samples_.size() - 1));
+    return samples_[idx];
+  }
+
+  const std::vector<double>& sorted_samples() const {
+    ensure_sorted();
+    return samples_;
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace libra

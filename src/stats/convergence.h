@@ -1,0 +1,63 @@
+// Convergence metrics reproducing the paper's Table 5 definitions:
+//   * convergence time: time from a flow's entry to the earliest moment after
+//     which its rate stays within +/-25% of its own level for 5 seconds;
+//   * stability: stddev of the flow's throughput after convergence;
+//   * average throughput after convergence.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "stats/summary.h"
+#include "util/types.h"
+
+namespace libra {
+
+struct ConvergenceResult {
+  bool converged = false;
+  SimDuration convergence_time = 0;  // from flow entry
+  double stddev_after = 0.0;         // bits/s
+  double mean_after = 0.0;           // bits/s
+};
+
+/// `rate_bins` are per-`bin` throughput samples (bits/s) starting at the
+/// flow's entry time. `band` is the +/- tolerance (0.25 in the paper) and
+/// `hold` the duration the rate must stay inside the band (5 s).
+inline ConvergenceResult analyze_convergence(const std::vector<double>& rate_bins,
+                                             SimDuration bin,
+                                             double band = 0.25,
+                                             SimDuration hold = sec(5)) {
+  ConvergenceResult res;
+  if (rate_bins.empty() || bin <= 0) return res;
+  const auto hold_bins = static_cast<std::size_t>(hold / bin);
+  if (hold_bins == 0 || rate_bins.size() < hold_bins) return res;
+
+  for (std::size_t start = 0; start + hold_bins <= rate_bins.size(); ++start) {
+    // Candidate level: mean over the hold window starting here.
+    double level = 0.0;
+    for (std::size_t i = start; i < start + hold_bins; ++i) level += rate_bins[i];
+    level /= static_cast<double>(hold_bins);
+    if (level <= 0.0) continue;
+
+    bool stable = true;
+    for (std::size_t i = start; i < start + hold_bins; ++i) {
+      if (rate_bins[i] < (1.0 - band) * level || rate_bins[i] > (1.0 + band) * level) {
+        stable = false;
+        break;
+      }
+    }
+    if (!stable) continue;
+
+    res.converged = true;
+    res.convergence_time = static_cast<SimDuration>(start) * bin;
+    RunningStats after;
+    for (std::size_t i = start; i < rate_bins.size(); ++i) after.add(rate_bins[i]);
+    res.stddev_after = after.stddev();
+    res.mean_after = after.mean();
+    return res;
+  }
+  return res;
+}
+
+}  // namespace libra

@@ -1,0 +1,22 @@
+// Fairness metrics.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+namespace libra {
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2). 1.0 == perfectly fair.
+inline double jain_index(const std::vector<double>& rates) {
+  if (rates.empty()) throw std::invalid_argument("jain_index: empty input");
+  double sum = 0.0, sq = 0.0;
+  for (double r : rates) {
+    if (r < 0) throw std::invalid_argument("jain_index: negative rate");
+    sum += r;
+    sq += r * r;
+  }
+  if (sq == 0.0) return 1.0;  // all-zero allocation is (degenerately) fair
+  return sum * sum / (static_cast<double>(rates.size()) * sq);
+}
+
+}  // namespace libra

@@ -1,0 +1,50 @@
+// The utility functional form shared by Libra (Eq. 1) and the PCC family:
+//   u(x) = alpha * x^t - beta * x * max(0, dRTT/dt) - gamma * x * L
+// with x in Mbps (the PCC convention the default coefficients assume),
+// 0 < t < 1 and alpha, beta, gamma > 0 — which is what makes the
+// non-cooperative game strictly socially concave (Appendix A).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace libra {
+
+struct UtilityParams {
+  double t = 0.9;
+  double alpha = 1.0;
+  double beta = 900.0;
+  double gamma = 11.35;
+
+  void validate() const {
+    if (!(t > 0.0 && t < 1.0)) throw std::invalid_argument("UtilityParams: need 0<t<1");
+    if (alpha <= 0 || beta <= 0 || gamma <= 0)
+      throw std::invalid_argument("UtilityParams: coefficients must be positive");
+  }
+};
+
+/// `x_mbps`: sending (or achieved) rate in Mbps; `rtt_gradient`: d(RTT)/dt,
+/// dimensionless; `loss_rate` in [0,1].
+inline double utility(const UtilityParams& p, double x_mbps, double rtt_gradient,
+                      double loss_rate) {
+  if (x_mbps < 0) throw std::invalid_argument("utility: negative rate");
+  return p.alpha * std::pow(x_mbps, p.t) -
+         p.beta * x_mbps * std::max(0.0, rtt_gradient) -
+         p.gamma * x_mbps * loss_rate;
+}
+
+/// Preset preference profiles used in the flexibility experiments (Fig. 11):
+/// Th-1/Th-2 scale alpha by 2x/3x, La-1/La-2 scale beta by 2x/3x.
+inline UtilityParams throughput_oriented(int level) {
+  UtilityParams p;
+  p.alpha *= (level == 1 ? 2.0 : 3.0);
+  return p;
+}
+inline UtilityParams latency_oriented(int level) {
+  UtilityParams p;
+  p.beta *= (level == 1 ? 2.0 : 3.0);
+  return p;
+}
+
+}  // namespace libra

@@ -1,0 +1,77 @@
+#include "trace/lte_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace libra {
+
+LteModelParams lte_profile_params(LteProfile profile) {
+  LteModelParams p;
+  switch (profile) {
+    case LteProfile::kStationary:
+      p.mean_rate = mbps(26);
+      p.volatility = 0.06;
+      p.reversion = 0.30;
+      p.fade_probability = 0.002;
+      p.fade_depth = 0.5;
+      p.fade_duration = msec(300);
+      break;
+    case LteProfile::kWalking:
+      p.mean_rate = mbps(20);
+      p.volatility = 0.12;
+      p.reversion = 0.20;
+      p.fade_probability = 0.01;
+      p.fade_depth = 0.35;
+      p.fade_duration = msec(500);
+      break;
+    case LteProfile::kDriving:
+      p.mean_rate = mbps(14);
+      p.volatility = 0.22;
+      p.reversion = 0.12;
+      p.fade_probability = 0.03;
+      p.fade_depth = 0.15;
+      p.fade_duration = msec(800);
+      break;
+  }
+  return p;
+}
+
+std::unique_ptr<PiecewiseTrace> make_lte_trace(LteProfile profile,
+                                               SimDuration length,
+                                               std::uint64_t seed) {
+  return make_lte_trace(lte_profile_params(profile), length, seed);
+}
+
+std::unique_ptr<PiecewiseTrace> make_lte_trace(const LteModelParams& p,
+                                               SimDuration length,
+                                               std::uint64_t seed) {
+  if (length <= 0) throw std::invalid_argument("make_lte_trace: length must be > 0");
+  Rng rng(seed);
+  std::vector<PiecewiseTrace::Segment> segs;
+  segs.reserve(static_cast<std::size_t>(length / p.granularity) + 1);
+
+  // Mean-reverting geometric walk in log-rate space: log-space keeps the
+  // process positive and makes volatility scale-free across the 0-40 Mbps band.
+  double log_mean = std::log(p.mean_rate);
+  double log_rate = log_mean;
+  SimDuration fade_remaining = 0;
+
+  for (SimTime t = 0; t < length; t += p.granularity) {
+    log_rate += p.reversion * (log_mean - log_rate) + rng.normal(0.0, p.volatility);
+    double rate = std::exp(log_rate);
+
+    if (fade_remaining > 0) {
+      fade_remaining -= p.granularity;
+    } else if (rng.chance(p.fade_probability)) {
+      fade_remaining = p.fade_duration;
+    }
+    if (fade_remaining > 0) rate *= p.fade_depth;
+
+    rate = std::clamp(rate, static_cast<double>(p.min_rate),
+                      static_cast<double>(p.max_rate));
+    segs.push_back({t, rate});
+  }
+  return std::make_unique<PiecewiseTrace>(std::move(segs), length);
+}
+
+}  // namespace libra

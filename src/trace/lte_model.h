@@ -1,0 +1,53 @@
+// Synthetic LTE cellular capacity model.
+//
+// The paper uses LTE traces collected by Pantheon and DeepCC for three
+// mobility profiles (stationary, walking, driving; 0-40 Mbps band). Those
+// trace files are not redistributable, so we substitute a mean-reverting
+// stochastic model whose parameters were chosen to match the statistical
+// character the paper's experiments depend on:
+//   * capacity confined to a 0-40 Mbps band,
+//   * short-timescale variation growing from stationary -> walking -> driving,
+//   * occasional deep fades / handover outages in mobile profiles.
+// The generator materializes a PiecewiseTrace (100 ms granularity) so runs
+// are reproducible from the seed.
+#pragma once
+
+#include <memory>
+
+#include "trace/rate_trace.h"
+#include "util/rng.h"
+
+namespace libra {
+
+enum class LteProfile {
+  kStationary,  // LTE#1: steady, mild fading
+  kWalking,     // LTE#2: moderate variation, occasional dips
+  kDriving,     // LTE#3: strong variation, deep fades and handover outages
+};
+
+struct LteModelParams {
+  RateBps mean_rate = mbps(24);     // long-run mean of the capacity process
+  RateBps min_rate = mbps(0.5);     // floor (link never fully dies outside outages)
+  RateBps max_rate = mbps(40);      // LTE band ceiling used in the paper
+  double reversion = 0.25;          // pull toward the mean per step
+  double volatility = 0.10;         // stddev of the multiplicative step noise
+  double fade_probability = 0.0;    // chance per step of entering a fade
+  double fade_depth = 0.25;         // fade multiplies capacity by this factor
+  SimDuration fade_duration = msec(600);
+  SimDuration granularity = msec(100);
+};
+
+/// Canonical parameters for the three mobility profiles.
+LteModelParams lte_profile_params(LteProfile profile);
+
+/// Generates a reproducible synthetic LTE trace of the given length.
+std::unique_ptr<PiecewiseTrace> make_lte_trace(LteProfile profile,
+                                               SimDuration length,
+                                               std::uint64_t seed);
+
+/// Same but with explicit parameters (used by tests and ablations).
+std::unique_ptr<PiecewiseTrace> make_lte_trace(const LteModelParams& params,
+                                               SimDuration length,
+                                               std::uint64_t seed);
+
+}  // namespace libra

@@ -1,0 +1,77 @@
+#include "trace/rate_trace.h"
+
+namespace libra {
+
+PiecewiseTrace::PiecewiseTrace(std::vector<Segment> segments, SimDuration loop_period)
+    : segments_(std::move(segments)), loop_period_(loop_period) {
+  if (segments_.empty()) throw std::invalid_argument("PiecewiseTrace: no segments");
+  for (std::size_t i = 1; i < segments_.size(); ++i) {
+    if (segments_[i].start <= segments_[i - 1].start)
+      throw std::invalid_argument("PiecewiseTrace: segments must be strictly increasing");
+  }
+  for (const Segment& s : segments_) {
+    if (s.rate < 0) throw std::invalid_argument("PiecewiseTrace: negative rate");
+  }
+  if (loop_period_ > 0 && loop_period_ <= segments_.back().start)
+    throw std::invalid_argument("PiecewiseTrace: loop period ends before last segment");
+}
+
+SimTime PiecewiseTrace::fold(SimTime t) const {
+  if (loop_period_ <= 0) return t;
+  SimTime m = t % loop_period_;
+  return m < 0 ? m + loop_period_ : m;
+}
+
+RateBps PiecewiseTrace::rate_at(SimTime t) const {
+  t = fold(t);
+  // Last segment whose start is <= t; before the first breakpoint we use the
+  // first segment so the trace is total over all of time.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](SimTime v, const Segment& s) { return v < s.start; });
+  if (it == segments_.begin()) return segments_.front().rate;
+  return std::prev(it)->rate;
+}
+
+RateBps PiecewiseTrace::average_rate(SimTime t0, SimTime t1) const {
+  if (t1 <= t0) return rate_at(t0);
+  // Integrate in at-most-loop-sized pieces; segments are coarse (>=1ms) so a
+  // simple walk is fine.
+  double bits = 0.0;
+  SimTime t = t0;
+  while (t < t1) {
+    SimTime ft = fold(t);
+    auto it = std::upper_bound(
+        segments_.begin(), segments_.end(), ft,
+        [](SimTime v, const Segment& s) { return v < s.start; });
+    RateBps rate = (it == segments_.begin()) ? segments_.front().rate
+                                             : std::prev(it)->rate;
+    // End of the current constant piece in folded time.
+    SimTime seg_end;
+    if (it == segments_.end()) {
+      seg_end = (loop_period_ > 0) ? loop_period_ : kSimTimeMax;
+    } else {
+      seg_end = it->start;
+    }
+    SimTime advance = std::min(seg_end - ft, t1 - t);
+    if (advance <= 0) advance = 1;  // defensive: always make progress
+    bits += rate * to_seconds(advance);
+    t += advance;
+  }
+  return bits / to_seconds(t1 - t0);
+}
+
+std::unique_ptr<PiecewiseTrace> make_step_trace(const std::vector<RateBps>& levels,
+                                                SimDuration step_duration) {
+  if (levels.empty()) throw std::invalid_argument("make_step_trace: no levels");
+  if (step_duration <= 0) throw std::invalid_argument("make_step_trace: bad duration");
+  std::vector<PiecewiseTrace::Segment> segs;
+  segs.reserve(levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    segs.push_back({static_cast<SimTime>(i) * step_duration, levels[i]});
+  }
+  return std::make_unique<PiecewiseTrace>(
+      std::move(segs), static_cast<SimDuration>(levels.size()) * step_duration);
+}
+
+}  // namespace libra

@@ -1,0 +1,67 @@
+#include "trace/trace_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace libra {
+
+void write_mahimahi(const RateTrace& trace, SimDuration length, std::ostream& out) {
+  if (length <= 0) throw std::invalid_argument("write_mahimahi: length must be > 0");
+  // Walk in 1ms steps accumulating deliverable bytes; emit one line per full
+  // MTU accumulated, stamped with the current millisecond.
+  double credit_bytes = 0.0;
+  for (SimTime t = 0; t < length; t += msec(1)) {
+    credit_bytes += bytes_in(msec(1), trace.rate_at(t));
+    while (credit_bytes >= kDefaultPacketBytes) {
+      out << (t / 1000) << "\n";
+      credit_bytes -= kDefaultPacketBytes;
+    }
+  }
+}
+
+void write_mahimahi_file(const RateTrace& trace, SimDuration length,
+                         const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_mahimahi_file: cannot open " + path);
+  write_mahimahi(trace, length, f);
+}
+
+std::unique_ptr<PiecewiseTrace> read_mahimahi(std::istream& in, SimDuration bin) {
+  if (bin <= 0) throw std::invalid_argument("read_mahimahi: bin must be > 0");
+  std::vector<std::int64_t> stamps_ms;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    stamps_ms.push_back(std::stoll(line));
+  }
+  if (stamps_ms.empty()) throw std::runtime_error("read_mahimahi: empty trace");
+
+  SimDuration total = msec(stamps_ms.back() + 1);
+  std::size_t nbins = static_cast<std::size_t>((total + bin - 1) / bin);
+  std::vector<std::int64_t> counts(nbins, 0);
+  for (std::int64_t ms : stamps_ms) {
+    auto idx = static_cast<std::size_t>(msec(ms) / bin);
+    counts[std::min(idx, nbins - 1)]++;
+  }
+
+  std::vector<PiecewiseTrace::Segment> segs;
+  segs.reserve(nbins);
+  for (std::size_t i = 0; i < nbins; ++i) {
+    double bits = static_cast<double>(counts[i]) * kDefaultPacketBytes * 8;
+    segs.push_back({static_cast<SimTime>(i) * bin, bits / to_seconds(bin)});
+  }
+  return std::make_unique<PiecewiseTrace>(std::move(segs),
+                                          static_cast<SimDuration>(nbins) * bin);
+}
+
+std::unique_ptr<PiecewiseTrace> read_mahimahi_file(const std::string& path,
+                                                   SimDuration bin) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_mahimahi_file: cannot open " + path);
+  return read_mahimahi(f, bin);
+}
+
+}  // namespace libra

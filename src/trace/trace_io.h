@@ -1,0 +1,30 @@
+// Mahimahi-compatible trace file I/O.
+//
+// Mahimahi's trace format is one integer per line: the millisecond timestamp
+// at which one MTU-sized (1500 B) packet delivery opportunity occurs; the
+// file loops after the last timestamp. We can export any RateTrace to this
+// format and import such files back as a PiecewiseTrace (binned), which lets
+// this repo exchange traces with Pantheon-era tooling.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "trace/rate_trace.h"
+
+namespace libra {
+
+/// Writes `trace` over [0, length) to `out` in mahimahi format.
+void write_mahimahi(const RateTrace& trace, SimDuration length, std::ostream& out);
+void write_mahimahi_file(const RateTrace& trace, SimDuration length,
+                         const std::string& path);
+
+/// Parses mahimahi-format input into a piecewise trace, binning delivery
+/// opportunities into `bin` wide rate segments. The resulting trace loops
+/// with the file's total duration.
+std::unique_ptr<PiecewiseTrace> read_mahimahi(std::istream& in, SimDuration bin = msec(100));
+std::unique_ptr<PiecewiseTrace> read_mahimahi_file(const std::string& path,
+                                                   SimDuration bin = msec(100));
+
+}  // namespace libra

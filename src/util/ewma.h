@@ -1,0 +1,33 @@
+// Exponentially weighted moving average with explicit warm-up semantics.
+#pragma once
+
+namespace libra {
+
+class Ewma {
+ public:
+  /// `gain` is the weight of each new sample (0 < gain <= 1).
+  explicit Ewma(double gain = 0.125) : gain_(gain) {}
+
+  void update(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ += gain_ * (sample - value_);
+    }
+  }
+
+  void reset() { initialized_ = false; value_ = 0.0; }
+
+  bool initialized() const { return initialized_; }
+  /// Last smoothed value; 0 until the first sample arrives.
+  double value() const { return value_; }
+  double value_or(double fallback) const { return initialized_ ? value_ : fallback; }
+
+ private:
+  double gain_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace libra

@@ -1,0 +1,33 @@
+// Minimal leveled logging. Benches and examples print their own structured
+// output; the logger exists for debugging simulator internals and is silent
+// at the default level.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace libra {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel& threshold() {
+    static LogLevel level = LogLevel::kWarn;
+    return level;
+  }
+
+  static void log(LogLevel level, const std::string& msg) {
+    if (level < threshold()) return;
+    static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::cerr << "[" << names[static_cast<int>(level)] << "] " << msg << "\n";
+  }
+};
+
+inline void log_debug(const std::string& m) { Logger::log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { Logger::log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { Logger::log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { Logger::log(LogLevel::kError, m); }
+
+}  // namespace libra

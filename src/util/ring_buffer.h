@@ -1,0 +1,46 @@
+// Fixed-capacity ring buffer used for the RL agent's stacked feature history
+// and for sliding-window statistics.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace libra {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer capacity must be > 0");
+  }
+
+  void push(T value) {
+    buf_[head_] = std::move(value);
+    head_ = (head_ + 1) % buf_.size();
+    if (size_ < buf_.size()) ++size_;
+  }
+
+  /// Element `i` counted from the oldest retained entry (0 == oldest).
+  const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer::at");
+    std::size_t start = (head_ + buf_.size() - size_) % buf_.size();
+    return buf_[(start + i) % buf_.size()];
+  }
+
+  /// Most recent element.
+  const T& back() const { return at(size_ - 1); }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  bool full() const { return size_ == buf_.size(); }
+  bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; head_ = 0; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace libra

@@ -1,0 +1,52 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (loss process, LTE capacity model, RL policy
+// sampling, experiment repetition) owns its own Rng seeded from the scenario
+// seed, so adding a component never perturbs the random stream of another.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace libra {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled to (mean, stddev).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Derive an independent child stream; useful to hand one Rng per component.
+  Rng fork() { return Rng(engine_() ^ 0xD1B54A32D192ED03ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace libra

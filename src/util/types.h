@@ -1,0 +1,55 @@
+// Core scalar types shared by every Libra module.
+//
+// All simulation time is kept in integer microseconds (SimTime) so that the
+// event queue is exactly ordered and runs are bit-reproducible across
+// platforms. Rates are double bits-per-second; converting helpers keep the
+// unit mistakes out of call sites.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace libra {
+
+/// Simulated time in microseconds since the start of the run.
+using SimTime = std::int64_t;
+
+/// A duration in microseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Rate in bits per second.
+using RateBps = double;
+
+inline constexpr SimDuration usec(std::int64_t n) { return n; }
+inline constexpr SimDuration msec(std::int64_t n) { return n * 1000; }
+inline constexpr SimDuration sec(std::int64_t n) { return n * 1'000'000; }
+
+/// Converts a possibly fractional count of seconds to SimDuration.
+inline constexpr SimDuration seconds(double s) {
+  return static_cast<SimDuration>(s * 1e6);
+}
+
+inline constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+inline constexpr double to_msec(SimDuration d) { return static_cast<double>(d) / 1e3; }
+
+inline constexpr RateBps mbps(double m) { return m * 1e6; }
+inline constexpr RateBps kbps(double k) { return k * 1e3; }
+inline constexpr double to_mbps(RateBps r) { return r / 1e6; }
+
+/// Default MTU-sized data packet payload used throughout the simulator.
+inline constexpr std::int64_t kDefaultPacketBytes = 1500;
+
+/// Time to serialize `bytes` onto a link running at `rate` bps.
+inline constexpr SimDuration transmission_time(std::int64_t bytes, RateBps rate) {
+  if (rate <= 0) return kSimTimeMax;
+  return static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 / rate * 1e6);
+}
+
+/// Bytes deliverable in `d` at `rate` bps.
+inline constexpr double bytes_in(SimDuration d, RateBps rate) {
+  return rate / 8.0 * to_seconds(d);
+}
+
+}  // namespace libra

@@ -1,0 +1,83 @@
+// Time-windowed min/max filter in the style of the Linux kernel's
+// lib/win_minmax.c, used by BBR for the bandwidth max-filter and the RTT
+// min-filter. Keeps the best, second-best and third-best samples so expiry
+// is O(1) per update.
+#pragma once
+
+#include <array>
+
+#include "util/types.h"
+
+namespace libra {
+
+template <typename T, typename Compare>
+class WindowedFilter {
+ public:
+  explicit WindowedFilter(SimDuration window) : window_(window) {}
+
+  void update(T sample, SimTime now) {
+    Compare better;
+    if (!valid_ || better(sample, estimates_[0].value) ||
+        now - estimates_[2].time > window_) {
+      reset(sample, now);
+      return;
+    }
+    if (better(sample, estimates_[1].value)) {
+      estimates_[1] = {sample, now};
+      estimates_[2] = estimates_[1];
+    } else if (better(sample, estimates_[2].value)) {
+      estimates_[2] = {sample, now};
+    }
+    // Expire stale bests: promote the runners-up as the window slides.
+    if (now - estimates_[0].time > window_) {
+      estimates_[0] = estimates_[1];
+      estimates_[1] = estimates_[2];
+      estimates_[2] = {sample, now};
+      if (now - estimates_[0].time > window_) {
+        estimates_[0] = estimates_[1];
+        estimates_[1] = estimates_[2];
+      }
+    } else if (estimates_[1].time == estimates_[0].time &&
+               now - estimates_[1].time > window_ / 4) {
+      estimates_[1] = {sample, now};
+      estimates_[2] = estimates_[1];
+    } else if (estimates_[2].time == estimates_[1].time &&
+               now - estimates_[2].time > window_ / 2) {
+      estimates_[2] = {sample, now};
+    }
+  }
+
+  void reset(T sample, SimTime now) {
+    estimates_.fill({sample, now});
+    valid_ = true;
+  }
+
+  bool valid() const { return valid_; }
+  T best() const { return estimates_[0].value; }
+  SimTime best_time() const { return estimates_[0].time; }
+
+ private:
+  struct Sample {
+    T value{};
+    SimTime time = 0;
+  };
+  SimDuration window_;
+  std::array<Sample, 3> estimates_{};
+  bool valid_ = false;
+};
+
+struct MaxCompare {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const { return a >= b; }
+};
+struct MinCompare {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const { return a <= b; }
+};
+
+template <typename T>
+using WindowedMax = WindowedFilter<T, MaxCompare>;
+template <typename T>
+using WindowedMin = WindowedFilter<T, MinCompare>;
+
+}  // namespace libra

@@ -1,0 +1,139 @@
+// Tests for the CoDel AQM queue and the Compound TCP combined baseline.
+#include <gtest/gtest.h>
+
+#include "classic/compound.h"
+#include "classic/cubic.h"
+#include "sim/codel_network.h"
+#include "sim/network.h"
+
+namespace libra {
+namespace {
+
+constexpr std::int64_t kMss = kDefaultPacketBytes;
+
+CodelConfig codel_link(RateBps rate = mbps(24)) {
+  CodelConfig cfg;
+  cfg.capacity = std::make_shared<ConstantTrace>(rate);
+  cfg.buffer_bytes = 1'000'000;
+  cfg.propagation_delay = msec(15);
+  return cfg;
+}
+
+TEST(Codel, DeliversBelowTarget) {
+  // A paced trickle well under capacity never builds a standing queue; CoDel
+  // must not drop anything.
+  EventQueue q;
+  CodelQueue link(q, codel_link(mbps(24)));
+  int delivered = 0, dropped = 0;
+  link.set_deliver([&](const Packet&) { ++delivered; });
+  link.set_drop([&](const Packet&) { ++dropped; });
+  for (int i = 0; i < 100; ++i) {
+    Packet p;
+    p.seq = static_cast<std::uint64_t>(i);
+    q.run_until(msec(10) * i);
+    link.send(p);
+  }
+  q.run_until(sec(5));
+  EXPECT_EQ(delivered, 100);
+  EXPECT_EQ(dropped, 0);
+  EXPECT_EQ(link.codel_drops(), 0);
+}
+
+TEST(Codel, DropsWhenSojournPersistsAboveTarget) {
+  // Saturate a slow queue: the standing sojourn exceeds the 5 ms target and
+  // CoDel must start shedding.
+  EventQueue q;
+  CodelQueue link(q, codel_link(mbps(2)));
+  int dropped = 0;
+  link.set_drop([&](const Packet&) { ++dropped; });
+  link.set_deliver([](const Packet&) {});
+  for (int i = 0; i < 400; ++i) {
+    Packet p;
+    p.seq = static_cast<std::uint64_t>(i);
+    q.run_until(msec(2) * i);  // 6 Mbps offered into a 2 Mbps queue
+    link.send(p);
+  }
+  q.run_until(sec(10));
+  EXPECT_GT(link.codel_drops(), 0);
+}
+
+TEST(Codel, KeepsCubicDelayLow) {
+  // The Sec. 2 claim: CUBIC + CoDel achieves low queueing delay (at the cost
+  // of in-network support). Compare against droptail with a deep buffer.
+  CodelNetwork codel(codel_link(mbps(24)));
+  codel.add_flow(std::make_unique<Cubic>());
+  codel.run_until(sec(15));
+  double codel_delay = codel.flow(0).mean_rtt_in(sec(5), sec(15));
+
+  LinkConfig deep;
+  deep.capacity = std::make_shared<ConstantTrace>(mbps(24));
+  deep.buffer_bytes = 1'000'000;
+  deep.propagation_delay = msec(15);
+  Network droptail(std::move(deep));
+  droptail.add_flow(std::make_unique<Cubic>());
+  droptail.run_until(sec(15));
+  double droptail_delay = droptail.flow(0).mean_rtt_in(sec(5), sec(15));
+
+  EXPECT_LT(codel_delay, droptail_delay * 0.5);
+  EXPECT_LT(codel_delay, 60.0);
+}
+
+TEST(Codel, SustainsThroughputWhileDropping) {
+  CodelNetwork net(codel_link(mbps(24)));
+  net.add_flow(std::make_unique<Cubic>());
+  net.run_until(sec(15));
+  EXPECT_GT(net.flow(0).throughput_in(sec(5), sec(15)), mbps(15));
+}
+
+AckEvent ack_at(SimTime now, std::uint64_t seq, SimDuration rtt = msec(50),
+                SimDuration min_rtt = msec(50)) {
+  return AckEvent{now, seq, now - rtt, rtt, kMss, 0, mbps(10), min_rtt};
+}
+
+TEST(Compound, DelayWindowGrowsOnEmptyQueue) {
+  CompoundTcp cc;
+  for (int i = 0; i < 60; ++i)
+    cc.on_ack(ack_at(msec(60) * i, static_cast<std::uint64_t>(i)));
+  EXPECT_GT(cc.delay_window(), 0);
+}
+
+TEST(Compound, DelayWindowRetreatsUnderQueueing) {
+  CompoundTcp cc;
+  for (int i = 0; i < 60; ++i)
+    cc.on_ack(ack_at(msec(60) * i, static_cast<std::uint64_t>(i)));
+  std::int64_t grown = cc.delay_window();
+  ASSERT_GT(grown, 0);
+  // Deep standing queue: diff >> gamma.
+  SimTime t = sec(10);
+  for (int i = 0; i < 60; ++i) {
+    cc.on_ack(ack_at(t, 100 + static_cast<std::uint64_t>(i), msec(200), msec(50)));
+    t += msec(210);
+  }
+  EXPECT_LT(cc.delay_window(), grown);
+}
+
+TEST(Compound, LossHalvesCompoundWindow) {
+  CompoundTcp cc;
+  for (int i = 0; i < 60; ++i) {
+    cc.on_packet_sent({msec(60) * i, static_cast<std::uint64_t>(i), kMss, 0});
+    cc.on_ack(ack_at(msec(60) * i, static_cast<std::uint64_t>(i)));
+  }
+  std::int64_t before = cc.cwnd_bytes();
+  cc.on_loss({sec(10), 30, sec(9), kMss, 0, false});
+  EXPECT_LT(cc.cwnd_bytes(), before);
+  EXPECT_GE(cc.cwnd_bytes(), before / 4);
+}
+
+TEST(Compound, FillsFriendlyLink) {
+  LinkConfig cfg;
+  cfg.capacity = std::make_shared<ConstantTrace>(mbps(24));
+  cfg.buffer_bytes = 150'000;
+  cfg.propagation_delay = msec(15);
+  Network net(std::move(cfg));
+  net.add_flow(std::make_unique<CompoundTcp>());
+  net.run_until(sec(20));
+  EXPECT_GT(net.link_utilization(sec(5), sec(20)), 0.85);
+}
+
+}  // namespace
+}  // namespace libra

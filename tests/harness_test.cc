@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "classic/newreno.h"
+#include "harness/metered.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+#include "harness/trainer.h"
+#include "harness/zoo.h"
+#include "learned/libra_rl.h"
+
+namespace libra {
+namespace {
+
+TEST(Scenario, WiredBuildsConstantTrace) {
+  Scenario s = wired_scenario(48);
+  auto t = s.make_trace(1);
+  EXPECT_DOUBLE_EQ(t->rate_at(sec(5)), mbps(48));
+  EXPECT_DOUBLE_EQ(s.nominal_rate, mbps(48));
+  LinkConfig cfg = s.link_config(1);
+  EXPECT_EQ(cfg.propagation_delay, msec(15));
+}
+
+TEST(Scenario, LteTraceVariesWithSeed) {
+  Scenario s = lte_scenario(LteProfile::kDriving, "lte-driving");
+  auto a = s.make_trace(1);
+  auto b = s.make_trace(2);
+  bool differ = false;
+  for (SimTime at = 0; at < sec(20); at += msec(500))
+    differ |= a->rate_at(at) != b->rate_at(at);
+  EXPECT_TRUE(differ);
+}
+
+TEST(Scenario, StepScenarioMatchesFig2a) {
+  Scenario s = step_scenario();
+  EXPECT_EQ(s.min_rtt, msec(80));
+  auto t = s.make_trace(1);
+  // Capacity changes at the 10 s boundary.
+  EXPECT_NE(t->rate_at(sec(5)), t->rate_at(sec(15)));
+  // Includes the 5 Mbps level that breaks Orca's training range.
+  bool has_5mbps = false;
+  for (int k = 0; k < 5; ++k)
+    has_5mbps |= t->rate_at(sec(10 * k + 5)) == mbps(5);
+  EXPECT_TRUE(has_5mbps);
+}
+
+TEST(Scenario, CanonicalSetsHaveExpectedSizes) {
+  EXPECT_EQ(fig1_scenarios().size(), 6u);
+  EXPECT_EQ(wired_set().size(), 4u);
+  EXPECT_EQ(cellular_set().size(), 4u);
+}
+
+TEST(Scenario, WanProfilesDiffer) {
+  Scenario inter = wan_inter_continental();
+  Scenario intra = wan_intra_continental();
+  EXPECT_GT(inter.min_rtt, intra.min_rtt);
+  EXPECT_GT(inter.stochastic_loss, intra.stochastic_loss);
+}
+
+TEST(Scenario, ExtensionProfiles) {
+  EXPECT_GE(satellite_scenario().min_rtt, msec(500));
+  EXPECT_GT(satellite_scenario().stochastic_loss, 0.01);
+  EXPECT_EQ(fiveg_scenario().name, "5g");
+}
+
+TEST(Runner, SingleFlowSummary) {
+  Scenario s = wired_scenario(24);
+  s.duration = sec(8);
+  RunSummary sum = run_single(s, [] { return std::make_unique<NewReno>(); }, 1);
+  EXPECT_GT(sum.link_utilization, 0.8);
+  EXPECT_GT(sum.total_throughput_bps, mbps(18));
+  ASSERT_EQ(sum.flows.size(), 1u);
+  EXPECT_GT(sum.flows[0].avg_rtt_ms, 29.0);
+}
+
+TEST(Runner, RejectsEmptyFlows) {
+  Scenario s = wired_scenario(24);
+  EXPECT_THROW(run_scenario(s, {}, 1), std::invalid_argument);
+}
+
+TEST(Runner, MultiFlowSummaries) {
+  Scenario s = wired_scenario(24);
+  s.duration = sec(10);
+  auto net = run_scenario(
+      s,
+      {{[] { return std::make_unique<NewReno>(); }, 0},
+       {[] { return std::make_unique<NewReno>(); }, sec(2)}},
+      1);
+  RunSummary sum = summarize(*net, sec(4), sec(10));
+  ASSERT_EQ(sum.flows.size(), 2u);
+  EXPECT_GT(sum.flows[0].throughput_bps, 0);
+  EXPECT_GT(sum.flows[1].throughput_bps, 0);
+}
+
+TEST(Trainer, EpisodeProducesMetrics) {
+  auto brain = make_libra_rl_brain(3);
+  Trainer trainer({}, 5);
+  EpisodeStats ep = trainer.run_episode([&] { return make_libra_rl(brain, true); });
+  EXPECT_GT(ep.steps, 0);
+  EXPECT_GT(ep.throughput_bps, 0);
+}
+
+TEST(Trainer, RewardExtractorHandlesNonRl) {
+  NewReno cc;
+  EXPECT_FALSE(episode_reward_of(cc).has_value());
+}
+
+TEST(Trainer, CurveHasRequestedLength) {
+  auto brain = make_libra_rl_brain(4);
+  TrainEnvRanges ranges;
+  ranges.episode_length = sec(2);
+  Trainer trainer(ranges, 6);
+  auto curve = trainer.train([&] { return make_libra_rl(brain, true); }, 5);
+  EXPECT_EQ(curve.size(), 5u);
+}
+
+TEST(Zoo, AllNamesConstructible) {
+  // Classic + online-learning CCAs need no brain; construct them all.
+  ZooConfig cfg;
+  cfg.brain_dir = "";  // no cache in tests
+  cfg.train_episodes = 1;
+  CcaZoo zoo(cfg);
+  for (const auto& name : CcaZoo::all_names()) {
+    auto cca = zoo.factory(name)();
+    ASSERT_NE(cca, nullptr) << name;
+    EXPECT_FALSE(cca->name().empty());
+  }
+}
+
+TEST(Zoo, UnknownNameThrows) {
+  CcaZoo zoo;
+  EXPECT_THROW(zoo.factory("nope"), std::out_of_range);
+  EXPECT_THROW(zoo.brain("nope"), std::out_of_range);
+}
+
+TEST(Zoo, BrainsAreCachedPerFamily) {
+  ZooConfig cfg;
+  cfg.brain_dir = "";
+  cfg.train_episodes = 1;
+  CcaZoo zoo(cfg);
+  EXPECT_EQ(zoo.brain("libra-rl").get(), zoo.brain("libra-rl").get());
+}
+
+TEST(Metered, AttributesTime) {
+  auto meter = std::make_shared<OverheadMeter>();
+  MeteredCca metered(std::make_unique<NewReno>(), meter);
+  metered.on_ack({msec(10), 0, 0, msec(10), 1500, 0, 0, msec(10)});
+  metered.on_tick(msec(20));
+  EXPECT_EQ(meter->invocations(), 2);
+  EXPECT_EQ(metered.name(), "newreno");
+  EXPECT_GT(metered.cwnd_bytes(), 0);
+}
+
+TEST(Report, FormattersAndTable) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pct(0.876), "87.6%");
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.print(out);
+  std::string s = out.str();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace libra

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "rl/adam.h"
+#include "rl/matrix.h"
+#include "rl/mlp.h"
+#include "rl/normalizer.h"
+#include "rl/ppo.h"
+
+namespace libra {
+namespace {
+
+TEST(Matrix, MultiplyVector) {
+  Matrix m(2, 3);
+  // [[1,2,3],[4,5,6]] * [1,1,1] = [6,15]
+  double vals[] = {1, 2, 3, 4, 5, 6};
+  std::copy(std::begin(vals), std::end(vals), m.data().begin());
+  Vector y = m.multiply({1, 1, 1});
+  EXPECT_DOUBLE_EQ(y[0], 6);
+  EXPECT_DOUBLE_EQ(y[1], 15);
+}
+
+TEST(Matrix, MultiplyTransposed) {
+  Matrix m(2, 3);
+  double vals[] = {1, 2, 3, 4, 5, 6};
+  std::copy(std::begin(vals), std::end(vals), m.data().begin());
+  Vector y = m.multiply_transposed({1, 1});
+  EXPECT_DOUBLE_EQ(y[0], 5);
+  EXPECT_DOUBLE_EQ(y[1], 7);
+  EXPECT_DOUBLE_EQ(y[2], 9);
+}
+
+TEST(Matrix, AddOuter) {
+  Matrix m(2, 2);
+  m.add_outer({1, 2}, {3, 4}, 2.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 6);
+  EXPECT_DOUBLE_EQ(m(0, 1), 8);
+  EXPECT_DOUBLE_EQ(m(1, 0), 12);
+  EXPECT_DOUBLE_EQ(m(1, 1), 16);
+}
+
+TEST(Matrix, DimensionChecks) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.multiply({1, 1}), std::invalid_argument);
+  EXPECT_THROW(m.multiply_transposed({1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(m.add_outer({1}, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Mlp, ForwardMatchesEvaluate) {
+  Rng rng(3);
+  Mlp net({4, 8, 2}, rng);
+  Vector x{0.1, -0.2, 0.3, 0.4};
+  Vector a = net.forward(x);
+  Vector b = net.evaluate(x);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a[0], b[0]);
+  EXPECT_DOUBLE_EQ(a[1], b[1]);
+}
+
+TEST(Mlp, RejectsBadShapes) {
+  Rng rng(3);
+  EXPECT_THROW(Mlp({4}, rng), std::invalid_argument);
+  EXPECT_THROW(Mlp({4, 0, 2}, rng), std::invalid_argument);
+  Mlp net({2, 2}, rng);
+  EXPECT_THROW(net.forward({1.0}), std::invalid_argument);
+  EXPECT_THROW(net.backward({1.0}), std::logic_error);  // no cached pass
+}
+
+// Finite-difference gradient check: the single most important test of the
+// from-scratch backprop.
+TEST(Mlp, GradientsMatchFiniteDifferences) {
+  Rng rng(7);
+  Mlp net({3, 5, 1}, rng);
+  Vector x{0.5, -0.3, 0.8};
+
+  net.zero_gradients();
+  net.forward(x);
+  net.backward({1.0});  // dL/dy = 1 -> gradients of y itself
+
+  const double eps = 1e-6;
+  for (std::size_t li = 0; li < net.layers().size(); ++li) {
+    Mlp::Layer& layer = net.layers()[li];
+    for (std::size_t k = 0; k < layer.weights.size(); k += 3) {
+      double saved = layer.weights.data()[k];
+      layer.weights.data()[k] = saved + eps;
+      double up = net.evaluate(x)[0];
+      layer.weights.data()[k] = saved - eps;
+      double down = net.evaluate(x)[0];
+      layer.weights.data()[k] = saved;
+      double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(layer.grad_weights.data()[k], numeric, 1e-5)
+          << "layer " << li << " weight " << k;
+    }
+    for (std::size_t k = 0; k < layer.bias.size(); ++k) {
+      double saved = layer.bias[k];
+      layer.bias[k] = saved + eps;
+      double up = net.evaluate(x)[0];
+      layer.bias[k] = saved - eps;
+      double down = net.evaluate(x)[0];
+      layer.bias[k] = saved;
+      EXPECT_NEAR(layer.grad_bias[k], (up - down) / (2 * eps), 1e-5);
+    }
+  }
+}
+
+TEST(Mlp, BackwardReturnsInputGradient) {
+  Rng rng(7);
+  Mlp net({2, 4, 1}, rng);
+  Vector x{0.3, -0.6};
+  net.zero_gradients();
+  net.forward(x);
+  Vector dx = net.backward({1.0});
+  ASSERT_EQ(dx.size(), 2u);
+
+  const double eps = 1e-6;
+  for (int i = 0; i < 2; ++i) {
+    Vector xp = x, xm = x;
+    xp[static_cast<std::size_t>(i)] += eps;
+    xm[static_cast<std::size_t>(i)] -= eps;
+    double numeric = (net.evaluate(xp)[0] - net.evaluate(xm)[0]) / (2 * eps);
+    EXPECT_NEAR(dx[static_cast<std::size_t>(i)], numeric, 1e-5);
+  }
+}
+
+TEST(Mlp, GradientsAccumulateAcrossBackwards) {
+  Rng rng(7);
+  Mlp net({2, 2, 1}, rng);
+  net.zero_gradients();
+  net.forward({1.0, 2.0});
+  net.backward({1.0});
+  double g1 = net.layers()[0].grad_weights.data()[0];
+  net.forward({1.0, 2.0});
+  net.backward({1.0});
+  EXPECT_NEAR(net.layers()[0].grad_weights.data()[0], 2 * g1, 1e-12);
+}
+
+TEST(Mlp, SaveLoadRoundTrip) {
+  Rng rng(9);
+  Mlp a({3, 4, 1}, rng);
+  Mlp b({3, 4, 1}, rng);  // different init
+  std::stringstream buf;
+  a.save(buf);
+  b.load(buf);
+  Vector x{0.2, 0.4, -0.1};
+  EXPECT_DOUBLE_EQ(a.evaluate(x)[0], b.evaluate(x)[0]);
+}
+
+TEST(Mlp, LoadRejectsShapeMismatch) {
+  Rng rng(9);
+  Mlp a({3, 4, 1}, rng);
+  Mlp b({3, 5, 1}, rng);
+  std::stringstream buf;
+  a.save(buf);
+  EXPECT_THROW(b.load(buf), std::runtime_error);
+}
+
+TEST(Adam, MinimizesQuadraticViaMlp) {
+  // Train y = w*x toward target 0 from a nonzero start: a pure descent test.
+  Rng rng(5);
+  Mlp net({1, 1}, rng);  // single linear layer
+  AdamOptimizer opt(net, {.learning_rate = 0.05});
+  for (int i = 0; i < 500; ++i) {
+    double y = net.forward({1.0})[0];
+    net.backward({y});  // dL/dy for L = y^2/2
+    opt.step();
+  }
+  EXPECT_NEAR(net.evaluate({1.0})[0], 0.0, 1e-3);
+}
+
+TEST(ScalarAdam, DescendsScalar) {
+  ScalarAdam opt({.learning_rate = 0.1});
+  double x = 5.0;
+  for (int i = 0; i < 500; ++i) x -= opt.step(x);  // L = x^2/2
+  EXPECT_NEAR(x, 0.0, 1e-3);
+}
+
+TEST(Normalizer, ZeroMeanUnitVariance) {
+  RunningNormalizer n(1);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) n.update({rng.normal(10.0, 2.0)});
+  Vector z = n.normalize({10.0});
+  EXPECT_NEAR(z[0], 0.0, 0.1);
+  Vector z2 = n.normalize({12.0});
+  EXPECT_NEAR(z2[0], 1.0, 0.1);
+}
+
+TEST(Normalizer, ClipsExtremes) {
+  RunningNormalizer n(1);
+  n.update({0.0});
+  n.update({1.0});
+  Vector z = n.normalize({1e9}, 5.0);
+  EXPECT_DOUBLE_EQ(z[0], 5.0);
+}
+
+TEST(Normalizer, Validation) {
+  EXPECT_THROW(RunningNormalizer(0), std::invalid_argument);
+  RunningNormalizer n(2);
+  EXPECT_THROW(n.update({1.0}), std::invalid_argument);
+}
+
+TEST(Normalizer, SaveLoadRoundTrip) {
+  RunningNormalizer a(2), b(2);
+  a.update({1.0, 2.0});
+  a.update({3.0, 4.0});
+  std::stringstream buf;
+  a.save(buf);
+  b.load(buf);
+  Vector za = a.normalize({2.0, 3.0});
+  Vector zb = b.normalize({2.0, 3.0});
+  EXPECT_DOUBLE_EQ(za[0], zb[0]);
+  EXPECT_DOUBLE_EQ(za[1], zb[1]);
+}
+
+PpoConfig small_ppo(std::size_t dim = 2) {
+  PpoConfig cfg;
+  cfg.state_dim = dim;
+  cfg.hidden = {16, 16};
+  cfg.horizon = 128;
+  cfg.minibatch = 32;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(Ppo, ActRequiresMatchingDim) {
+  PpoAgent agent(small_ppo(2));
+  EXPECT_THROW(agent.act({1.0}), std::invalid_argument);
+  EXPECT_THROW(agent.act_greedy({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Ppo, RewardWithoutActIsDropped) {
+  PpoAgent agent(small_ppo());
+  agent.give_reward(1.0);
+  EXPECT_EQ(agent.buffered_transitions(), 0u);
+}
+
+TEST(Ppo, BuffersTransitions) {
+  PpoAgent agent(small_ppo());
+  agent.act({0.1, 0.2});
+  agent.give_reward(0.5);
+  EXPECT_EQ(agent.buffered_transitions(), 1u);
+}
+
+TEST(Ppo, UpdatesAfterHorizon) {
+  PpoAgent agent(small_ppo());
+  for (std::size_t i = 0; i <= agent.config().horizon; ++i) {
+    agent.act({0.1, 0.2});
+    agent.give_reward(0.0);
+  }
+  // One more act triggers the update.
+  agent.act({0.1, 0.2});
+  EXPECT_EQ(agent.update_count(), 1);
+  EXPECT_LT(agent.buffered_transitions(), agent.config().horizon);
+}
+
+// The core learning test: a 1-D target-chasing task. State = target value;
+// reward = -|action - target|. The policy must learn action ~= target.
+TEST(Ppo, LearnsStateConditionalTarget) {
+  PpoConfig cfg = small_ppo(1);
+  cfg.horizon = 256;
+  cfg.epochs = 8;
+  cfg.actor_lr = 3e-3;
+  cfg.critic_lr = 3e-3;
+  PpoAgent agent(cfg);
+  Rng rng(2);
+  for (int step = 0; step < 20000; ++step) {
+    double target = rng.chance(0.5) ? 1.0 : -1.0;
+    double a = agent.act({target});
+    agent.give_reward(-std::abs(a - target));
+  }
+  EXPECT_NEAR(agent.act_greedy({1.0}), 1.0, 0.35);
+  EXPECT_NEAR(agent.act_greedy({-1.0}), -1.0, 0.35);
+}
+
+TEST(Ppo, SaveLoadRoundTrip) {
+  PpoAgent a(small_ppo());
+  PpoAgent b(small_ppo());
+  // Perturb a's policy via some updates so the two differ.
+  for (int i = 0; i < 300; ++i) {
+    double act = a.act({0.5, -0.5});
+    a.give_reward(-act * act);
+  }
+  std::stringstream buf;
+  a.save(buf);
+  b.load(buf);
+  EXPECT_DOUBLE_EQ(a.act_greedy({0.3, 0.3}), b.act_greedy({0.3, 0.3}));
+  EXPECT_DOUBLE_EQ(a.exploration_stddev(), b.exploration_stddev());
+}
+
+TEST(Ppo, MemoryBytesScalesWithWidth) {
+  PpoConfig small = small_ppo();
+  PpoConfig big = small_ppo();
+  big.hidden = {128, 128};
+  EXPECT_GT(PpoAgent(big).memory_bytes(), PpoAgent(small).memory_bytes());
+}
+
+}  // namespace
+}  // namespace libra

@@ -1,0 +1,133 @@
+// Parameterized robustness sweeps: every CCA must make progress (no deadlock,
+// no runaway queue) across a grid of buffer depths, loss rates and RTTs, and
+// Libra must stay live across its whole parameter envelope.
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+#include "harness/zoo.h"
+
+namespace libra {
+namespace {
+
+std::shared_ptr<RlBrain> tiny_brain() {
+  RlCcaConfig cfg = libra_rl_config();
+  static auto brain = std::make_shared<RlBrain>(
+      make_ppo_config(cfg, 3, {8, 8}), feature_frame_size(cfg.features));
+  return brain;
+}
+
+// --- Liveness grid over network conditions, per CCA -------------------------
+struct GridPoint {
+  std::string cca;
+  std::int64_t buffer;
+  double loss;
+  SimDuration rtt;
+};
+
+class CcaLiveness : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(CcaLiveness, MakesProgressWithoutPathology) {
+  const GridPoint& g = GetParam();
+  ZooConfig zc;
+  zc.brain_dir = "";
+  zc.train_episodes = 1;
+  CcaZoo zoo(zc);
+
+  Scenario s = wired_scenario(24, g.rtt, g.buffer);
+  s.stochastic_loss = g.loss;
+  s.duration = sec(15);
+  RunSummary sum = run_single(s, zoo.factory(g.cca), 7);
+
+  // Liveness: the flow moves data...
+  EXPECT_GT(sum.total_throughput_bps, kbps(50)) << g.cca;
+  // ...and never wedges the queue beyond the physical bound.
+  EXPECT_LT(sum.avg_delay_ms,
+            to_msec(g.rtt) + static_cast<double>(g.buffer) * 8 / mbps(24) * 1e3 + 50)
+      << g.cca;
+}
+
+std::vector<GridPoint> liveness_grid() {
+  std::vector<GridPoint> grid;
+  for (const char* cca : {"cubic", "bbr", "vegas", "copa", "compound",
+                          "vivace", "sprout", "remy", "indigo"}) {
+    grid.push_back({cca, 20'000, 0.0, msec(20)});    // shallow buffer
+    grid.push_back({cca, 500'000, 0.0, msec(100)});  // deep buffer, long RTT
+    grid.push_back({cca, 150'000, 0.05, msec(30)});  // lossy
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CcaLiveness, ::testing::ValuesIn(liveness_grid()),
+                         [](const auto& info) {
+                           const GridPoint& g = info.param;
+                           return g.cca + std::string("_b") +
+                                  std::to_string(g.buffer / 1000) + "k_l" +
+                                  std::to_string(static_cast<int>(g.loss * 100)) +
+                                  "_r" + std::to_string(g.rtt / 1000);
+                         });
+
+// --- Libra parameter envelope ------------------------------------------------
+struct LibraPoint {
+  double exploration_rtts;
+  double ei_rtts;
+  double exploitation_rtts;
+  double threshold;
+};
+
+class LibraEnvelope : public ::testing::TestWithParam<LibraPoint> {};
+
+TEST_P(LibraEnvelope, StaysLiveAndBounded) {
+  const LibraPoint& p = GetParam();
+  LibraParams params = c_libra_params();
+  params.exploration_rtts = p.exploration_rtts;
+  params.ei_rtts = p.ei_rtts;
+  params.exploitation_rtts = p.exploitation_rtts;
+  params.switch_threshold = p.threshold;
+
+  Scenario s = wired_scenario(24);
+  s.duration = sec(15);
+  auto brain = tiny_brain();
+  RunSummary sum = run_single(
+      s, [&] { return make_c_libra(brain, false, params); }, 5);
+  EXPECT_GT(sum.link_utilization, 0.4);
+  EXPECT_LT(sum.flows[0].loss_rate, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Envelope, LibraEnvelope,
+    ::testing::Values(LibraPoint{1, 0.5, 1, 0.3}, LibraPoint{1, 1, 1, 0.3},
+                      LibraPoint{2, 0.5, 2, 0.3}, LibraPoint{3, 0.5, 3, 0.3},
+                      LibraPoint{1, 0.5, 1, 0.1}, LibraPoint{1, 0.5, 1, 0.4},
+                      LibraPoint{0.5, 0.25, 0.5, 0.3}));
+
+// --- Utility-preference monotonicity ----------------------------------------
+class PreferenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreferenceSweep, HigherAlphaNeverHurtsUtilityOfHigherRates) {
+  // For any fixed network outcome pair (low rate clean vs high rate queued),
+  // raising alpha must weakly favor the higher-rate outcome, raising beta the
+  // lower-delay one — the algebra behind the Fig. 11 knob.
+  int level = GetParam();
+  UtilityParams th = throughput_oriented(level);
+  UtilityParams la = latency_oriented(level);
+  UtilityParams base;
+
+  double low_u_base = utility(base, 45, 0.0, 0.0);
+  double high_u_base = utility(base, 50, 0.05, 0.03);
+  double low_u_th = utility(th, 45, 0.0, 0.0);
+  double high_u_th = utility(th, 50, 0.05, 0.03);
+  double low_u_la = utility(la, 45, 0.0, 0.0);
+  double high_u_la = utility(la, 50, 0.05, 0.03);
+
+  // Th scales the throughput term: the high-rate option gains more.
+  EXPECT_GT(high_u_th - high_u_base, low_u_th - low_u_base);
+  // La scales the gradient penalty: the high-rate (queued) option loses more.
+  EXPECT_LT(high_u_la - high_u_base, low_u_la - low_u_base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, PreferenceSweep, ::testing::Values(1, 2));
+
+}  // namespace
+}  // namespace libra
