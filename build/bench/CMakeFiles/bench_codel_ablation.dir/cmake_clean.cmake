@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codel_ablation.dir/bench_codel_ablation.cc.o"
+  "CMakeFiles/bench_codel_ablation.dir/bench_codel_ablation.cc.o.d"
+  "bench_codel_ablation"
+  "bench_codel_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codel_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_adaptability.dir/bench_fig01_adaptability.cc.o"
+  "CMakeFiles/bench_fig01_adaptability.dir/bench_fig01_adaptability.cc.o.d"
+  "bench_fig01_adaptability"
+  "bench_fig01_adaptability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_adaptability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02a_step.dir/bench_fig02a_step.cc.o"
+  "CMakeFiles/bench_fig02a_step.dir/bench_fig02a_step.cc.o.d"
+  "bench_fig02a_step"
+  "bench_fig02a_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02a_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_eval_order.dir/bench_fig04_eval_order.cc.o"
+  "CMakeFiles/bench_fig04_eval_order.dir/bench_fig04_eval_order.cc.o.d"
+  "bench_fig04_eval_order"
+  "bench_fig04_eval_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_eval_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_statespace.dir/bench_fig05_statespace.cc.o"
+  "CMakeFiles/bench_fig05_statespace.dir/bench_fig05_statespace.cc.o.d"
+  "bench_fig05_statespace"
+  "bench_fig05_statespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_statespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig06_actionspace.cc" "bench/CMakeFiles/bench_fig06_actionspace.dir/bench_fig06_actionspace.cc.o" "gcc" "bench/CMakeFiles/bench_fig06_actionspace.dir/bench_fig06_actionspace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/libra_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/libra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/learned/CMakeFiles/libra_learned.dir/DependInfo.cmake"
+  "/root/repo/build/src/classic/CMakeFiles/libra_classic.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/libra_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/libra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/libra_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

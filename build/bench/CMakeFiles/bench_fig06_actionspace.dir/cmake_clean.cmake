@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_actionspace.dir/bench_fig06_actionspace.cc.o"
+  "CMakeFiles/bench_fig06_actionspace.dir/bench_fig06_actionspace.cc.o.d"
+  "bench_fig06_actionspace"
+  "bench_fig06_actionspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_actionspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_tracking.dir/bench_fig08_tracking.cc.o"
+  "CMakeFiles/bench_fig08_tracking.dir/bench_fig08_tracking.cc.o.d"
+  "bench_fig08_tracking"
+  "bench_fig08_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_buffer.dir/bench_fig09_buffer.cc.o"
+  "CMakeFiles/bench_fig09_buffer.dir/bench_fig09_buffer.cc.o.d"
+  "bench_fig09_buffer"
+  "bench_fig09_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

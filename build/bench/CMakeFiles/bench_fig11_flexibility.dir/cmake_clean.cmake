@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_flexibility.dir/bench_fig11_flexibility.cc.o"
+  "CMakeFiles/bench_fig11_flexibility.dir/bench_fig11_flexibility.cc.o.d"
+  "bench_fig11_flexibility"
+  "bench_fig11_flexibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_flexibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

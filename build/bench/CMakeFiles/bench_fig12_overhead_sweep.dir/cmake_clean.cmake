@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_overhead_sweep.dir/bench_fig12_overhead_sweep.cc.o"
+  "CMakeFiles/bench_fig12_overhead_sweep.dir/bench_fig12_overhead_sweep.cc.o.d"
+  "bench_fig12_overhead_sweep"
+  "bench_fig12_overhead_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_overhead_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_interfair.dir/bench_fig13_interfair.cc.o"
+  "CMakeFiles/bench_fig13_interfair.dir/bench_fig13_interfair.cc.o.d"
+  "bench_fig13_interfair"
+  "bench_fig13_interfair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_interfair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_intrafair.dir/bench_fig14_intrafair.cc.o"
+  "CMakeFiles/bench_fig14_intrafair.dir/bench_fig14_intrafair.cc.o.d"
+  "bench_fig14_intrafair"
+  "bench_fig14_intrafair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_intrafair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_internet.dir/bench_fig16_internet.cc.o"
+  "CMakeFiles/bench_fig16_internet.dir/bench_fig16_internet.cc.o.d"
+  "bench_fig16_internet"
+  "bench_fig16_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_fractions.dir/bench_fig17_fractions.cc.o"
+  "CMakeFiles/bench_fig17_fractions.dir/bench_fig17_fractions.cc.o.d"
+  "bench_fig17_fractions"
+  "bench_fig17_fractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_fractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

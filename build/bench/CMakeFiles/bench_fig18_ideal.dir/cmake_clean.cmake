@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_ideal.dir/bench_fig18_ideal.cc.o"
+  "CMakeFiles/bench_fig18_ideal.dir/bench_fig18_ideal.cc.o.d"
+  "bench_fig18_ideal"
+  "bench_fig18_ideal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_ideal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

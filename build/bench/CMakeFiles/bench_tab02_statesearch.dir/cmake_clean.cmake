@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_statesearch.dir/bench_tab02_statesearch.cc.o"
+  "CMakeFiles/bench_tab02_statesearch.dir/bench_tab02_statesearch.cc.o.d"
+  "bench_tab02_statesearch"
+  "bench_tab02_statesearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_statesearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

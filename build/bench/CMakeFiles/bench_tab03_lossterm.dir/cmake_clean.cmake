@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_lossterm.dir/bench_tab03_lossterm.cc.o"
+  "CMakeFiles/bench_tab03_lossterm.dir/bench_tab03_lossterm.cc.o.d"
+  "bench_tab03_lossterm"
+  "bench_tab03_lossterm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_lossterm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab03_lossterm.
+# This may be replaced when dependencies are built.

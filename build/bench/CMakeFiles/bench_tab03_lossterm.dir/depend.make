@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab03_lossterm.
+# This may be replaced when dependencies are built.

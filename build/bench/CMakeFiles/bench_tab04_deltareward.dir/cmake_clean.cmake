@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_deltareward.dir/bench_tab04_deltareward.cc.o"
+  "CMakeFiles/bench_tab04_deltareward.dir/bench_tab04_deltareward.cc.o.d"
+  "bench_tab04_deltareward"
+  "bench_tab04_deltareward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_deltareward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

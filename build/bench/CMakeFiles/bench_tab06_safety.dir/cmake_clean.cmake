@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab06_safety.dir/bench_tab06_safety.cc.o"
+  "CMakeFiles/bench_tab06_safety.dir/bench_tab06_safety.cc.o.d"
+  "bench_tab06_safety"
+  "bench_tab06_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab06_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab06_safety.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_gaming.dir/cloud_gaming.cpp.o"
+  "CMakeFiles/cloud_gaming.dir/cloud_gaming.cpp.o.d"
+  "cloud_gaming"
+  "cloud_gaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_gaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

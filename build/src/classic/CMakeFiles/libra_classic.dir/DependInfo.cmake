@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classic/bbr.cc" "src/classic/CMakeFiles/libra_classic.dir/bbr.cc.o" "gcc" "src/classic/CMakeFiles/libra_classic.dir/bbr.cc.o.d"
+  "/root/repo/src/classic/cubic.cc" "src/classic/CMakeFiles/libra_classic.dir/cubic.cc.o" "gcc" "src/classic/CMakeFiles/libra_classic.dir/cubic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/libra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/libra_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_classic.dir/bbr.cc.o"
+  "CMakeFiles/libra_classic.dir/bbr.cc.o.d"
+  "CMakeFiles/libra_classic.dir/cubic.cc.o"
+  "CMakeFiles/libra_classic.dir/cubic.cc.o.d"
+  "liblibra_classic.a"
+  "liblibra_classic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_classic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblibra_classic.a"
+)

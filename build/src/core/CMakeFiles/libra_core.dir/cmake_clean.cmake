@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_core.dir/libra.cc.o"
+  "CMakeFiles/libra_core.dir/libra.cc.o.d"
+  "liblibra_core.a"
+  "liblibra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

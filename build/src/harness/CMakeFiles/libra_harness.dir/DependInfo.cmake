@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/runner.cc" "src/harness/CMakeFiles/libra_harness.dir/runner.cc.o" "gcc" "src/harness/CMakeFiles/libra_harness.dir/runner.cc.o.d"
+  "/root/repo/src/harness/scenario.cc" "src/harness/CMakeFiles/libra_harness.dir/scenario.cc.o" "gcc" "src/harness/CMakeFiles/libra_harness.dir/scenario.cc.o.d"
+  "/root/repo/src/harness/trainer.cc" "src/harness/CMakeFiles/libra_harness.dir/trainer.cc.o" "gcc" "src/harness/CMakeFiles/libra_harness.dir/trainer.cc.o.d"
+  "/root/repo/src/harness/zoo.cc" "src/harness/CMakeFiles/libra_harness.dir/zoo.cc.o" "gcc" "src/harness/CMakeFiles/libra_harness.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/libra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/learned/CMakeFiles/libra_learned.dir/DependInfo.cmake"
+  "/root/repo/build/src/classic/CMakeFiles/libra_classic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/libra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/libra_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/libra_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

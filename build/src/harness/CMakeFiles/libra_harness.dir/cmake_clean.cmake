@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_harness.dir/runner.cc.o"
+  "CMakeFiles/libra_harness.dir/runner.cc.o.d"
+  "CMakeFiles/libra_harness.dir/scenario.cc.o"
+  "CMakeFiles/libra_harness.dir/scenario.cc.o.d"
+  "CMakeFiles/libra_harness.dir/trainer.cc.o"
+  "CMakeFiles/libra_harness.dir/trainer.cc.o.d"
+  "CMakeFiles/libra_harness.dir/zoo.cc.o"
+  "CMakeFiles/libra_harness.dir/zoo.cc.o.d"
+  "liblibra_harness.a"
+  "liblibra_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

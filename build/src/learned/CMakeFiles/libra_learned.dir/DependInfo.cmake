@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learned/orca.cc" "src/learned/CMakeFiles/libra_learned.dir/orca.cc.o" "gcc" "src/learned/CMakeFiles/libra_learned.dir/orca.cc.o.d"
+  "/root/repo/src/learned/rl_cca.cc" "src/learned/CMakeFiles/libra_learned.dir/rl_cca.cc.o" "gcc" "src/learned/CMakeFiles/libra_learned.dir/rl_cca.cc.o.d"
+  "/root/repo/src/learned/vivace.cc" "src/learned/CMakeFiles/libra_learned.dir/vivace.cc.o" "gcc" "src/learned/CMakeFiles/libra_learned.dir/vivace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/libra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/libra_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/classic/CMakeFiles/libra_classic.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/libra_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_learned.dir/orca.cc.o"
+  "CMakeFiles/libra_learned.dir/orca.cc.o.d"
+  "CMakeFiles/libra_learned.dir/rl_cca.cc.o"
+  "CMakeFiles/libra_learned.dir/rl_cca.cc.o.d"
+  "CMakeFiles/libra_learned.dir/vivace.cc.o"
+  "CMakeFiles/libra_learned.dir/vivace.cc.o.d"
+  "liblibra_learned.a"
+  "liblibra_learned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_learned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_rl.dir/mlp.cc.o"
+  "CMakeFiles/libra_rl.dir/mlp.cc.o.d"
+  "CMakeFiles/libra_rl.dir/ppo.cc.o"
+  "CMakeFiles/libra_rl.dir/ppo.cc.o.d"
+  "liblibra_rl.a"
+  "liblibra_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/link.cc" "src/sim/CMakeFiles/libra_sim.dir/link.cc.o" "gcc" "src/sim/CMakeFiles/libra_sim.dir/link.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/libra_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/libra_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/sender.cc" "src/sim/CMakeFiles/libra_sim.dir/sender.cc.o" "gcc" "src/sim/CMakeFiles/libra_sim.dir/sender.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/libra_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

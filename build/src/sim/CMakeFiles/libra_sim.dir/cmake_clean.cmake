@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_sim.dir/link.cc.o"
+  "CMakeFiles/libra_sim.dir/link.cc.o.d"
+  "CMakeFiles/libra_sim.dir/network.cc.o"
+  "CMakeFiles/libra_sim.dir/network.cc.o.d"
+  "CMakeFiles/libra_sim.dir/sender.cc.o"
+  "CMakeFiles/libra_sim.dir/sender.cc.o.d"
+  "liblibra_sim.a"
+  "liblibra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

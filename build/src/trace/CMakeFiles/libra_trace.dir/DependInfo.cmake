@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/lte_model.cc" "src/trace/CMakeFiles/libra_trace.dir/lte_model.cc.o" "gcc" "src/trace/CMakeFiles/libra_trace.dir/lte_model.cc.o.d"
+  "/root/repo/src/trace/rate_trace.cc" "src/trace/CMakeFiles/libra_trace.dir/rate_trace.cc.o" "gcc" "src/trace/CMakeFiles/libra_trace.dir/rate_trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/libra_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/libra_trace.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_trace.dir/lte_model.cc.o"
+  "CMakeFiles/libra_trace.dir/lte_model.cc.o.d"
+  "CMakeFiles/libra_trace.dir/rate_trace.cc.o"
+  "CMakeFiles/libra_trace.dir/rate_trace.cc.o.d"
+  "CMakeFiles/libra_trace.dir/trace_io.cc.o"
+  "CMakeFiles/libra_trace.dir/trace_io.cc.o.d"
+  "liblibra_trace.a"
+  "liblibra_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

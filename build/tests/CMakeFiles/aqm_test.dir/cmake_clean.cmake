@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_test.dir/aqm_test.cc.o"
+  "CMakeFiles/aqm_test.dir/aqm_test.cc.o.d"
+  "aqm_test"
+  "aqm_test.pdb"
+  "aqm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_test.dir/learned_test.cc.o"
+  "CMakeFiles/learned_test.dir/learned_test.cc.o.d"
+  "learned_test"
+  "learned_test.pdb"
+  "learned_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

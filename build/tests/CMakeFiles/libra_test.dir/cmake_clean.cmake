@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_test.dir/libra_test.cc.o"
+  "CMakeFiles/libra_test.dir/libra_test.cc.o.d"
+  "libra_test"
+  "libra_test.pdb"
+  "libra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
