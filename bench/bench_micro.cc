@@ -6,11 +6,14 @@
 #include "classic/bbr.h"
 #include "classic/cubic.h"
 #include "core/factory.h"
+#include "harness/parallel.h"
+#include "harness/scenario.h"
 #include "learned/libra_rl.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "stats/utility_fn.h"
 #include "trace/lte_model.h"
+#include "util/thread_pool.h"
 
 namespace libra {
 namespace {
@@ -27,7 +30,31 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleRun);
 
+void BM_EventQueueLargeCapture(benchmark::State& state) {
+  // A Packet-sized capture: the closure the ACK path schedules per delivered
+  // packet. With std::function this was one heap allocation per event.
+  struct FakeAckContext {
+    Packet pkt;
+    void* owner;
+    std::size_t idx;
+  };
+  for (auto _ : state) {
+    EventQueue q;
+    long sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      FakeAckContext ctx{{}, &sink, static_cast<std::size_t>(i)};
+      ctx.pkt.seq = static_cast<std::uint64_t>(i);
+      q.schedule_at(i, [ctx, &sink] { sink += static_cast<long>(ctx.pkt.seq); });
+    }
+    q.run_until(2000);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueLargeCapture);
+
 void BM_SimulatedSecondCubic(benchmark::State& state) {
+  std::uint64_t events = 0;
   for (auto _ : state) {
     LinkConfig cfg;
     cfg.capacity = std::make_shared<ConstantTrace>(mbps(static_cast<double>(state.range(0))));
@@ -36,10 +63,56 @@ void BM_SimulatedSecondCubic(benchmark::State& state) {
     Network net(std::move(cfg));
     net.add_flow(std::make_unique<Cubic>());
     net.run_until(sec(1));
+    events += net.events().processed();
     benchmark::DoNotOptimize(net.flow(0).metrics().packets_acked);
   }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulatedSecondCubic)->Arg(10)->Arg(100);
+
+// --- Parallel experiment engine: 12-run seed sweep, serial vs run_many ------
+
+Scenario sweep_scenario() {
+  Scenario s = wired_scenario(24);
+  s.duration = sec(4);
+  return s;
+}
+
+constexpr int kSweepRuns = 12;
+
+void BM_SeedSweepSerial(benchmark::State& state) {
+  Scenario s = sweep_scenario();
+  CcaFactory factory = [] { return std::make_unique<Cubic>(); };
+  for (auto _ : state) {
+    double acc = 0;
+    for (int r = 0; r < kSweepRuns; ++r) {
+      acc += run_single(s, factory, 1000 + static_cast<std::uint64_t>(r))
+                 .link_utilization;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * kSweepRuns);
+}
+BENCHMARK(BM_SeedSweepSerial)->Unit(benchmark::kMillisecond);
+
+void BM_SeedSweepRunMany(benchmark::State& state) {
+  Scenario s = sweep_scenario();
+  CcaFactory factory = [] { return std::make_unique<Cubic>(); };
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::vector<RunRequest> reqs;
+  for (int r = 0; r < kSweepRuns; ++r) {
+    reqs.push_back(RunRequest::single(s, factory, 1000 + static_cast<std::uint64_t>(r)));
+  }
+  for (auto _ : state) {
+    std::vector<RunSummary> out = run_many(reqs, pool);
+    benchmark::DoNotOptimize(out.front().link_utilization);
+  }
+  state.SetItemsProcessed(state.iterations() * kSweepRuns);
+  // runs/sec-per-core = items_per_second / threads, for cross-machine compare.
+  state.counters["threads"] = static_cast<double>(pool.thread_count());
+}
+BENCHMARK(BM_SeedSweepRunMany)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_CubicOnAck(benchmark::State& state) {
   Cubic cc;

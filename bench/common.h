@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "harness/metered.h"
+#include "harness/parallel.h"
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "harness/scenario.h"
@@ -36,29 +37,15 @@ inline CcaZoo& wide_zoo() {
 }
 
 /// Mean of per-seed run summaries (the paper averages 5 runs; we default 3).
-struct Averaged {
-  double link_utilization = 0;
-  double avg_delay_ms = 0;
-  double throughput_bps = 0;
-  double loss_rate = 0;
-};
+/// Seeds are 1000..1000+runs-1; the fan-out over the process-wide pool is
+/// deterministic (see harness/parallel.h), so bench output is reproducible
+/// at any thread count, including LIBRA_THREADS=1.
+using Averaged = AveragedSummary;
 
 inline Averaged average_runs(const Scenario& scenario, const CcaFactory& factory,
                              int runs = 3, SimDuration warmup = sec(2)) {
-  Averaged avg;
-  for (int r = 0; r < runs; ++r) {
-    RunSummary s = run_single(scenario, factory, 1000 + static_cast<std::uint64_t>(r),
-                              warmup);
-    avg.link_utilization += s.link_utilization;
-    avg.avg_delay_ms += s.avg_delay_ms;
-    avg.throughput_bps += s.total_throughput_bps;
-    avg.loss_rate += s.flows[0].loss_rate;
-  }
-  avg.link_utilization /= runs;
-  avg.avg_delay_ms /= runs;
-  avg.throughput_bps /= runs;
-  avg.loss_rate /= runs;
-  return avg;
+  return average_runs_parallel(scenario, factory, runs, warmup, default_pool(),
+                               /*base_seed=*/1000);
 }
 
 inline void header(const std::string& id, const std::string& what) {

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a ThreadSanitizer pass over the parallel experiment
+# engine. Usage: scripts/check.sh [--tsan-only | --no-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+RUN_TIER1=1
+RUN_TSAN=1
+case "${1:-}" in
+  --tsan-only) RUN_TIER1=0 ;;
+  --no-tsan) RUN_TSAN=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--tsan-only | --no-tsan]" >&2; exit 2 ;;
+esac
+
+if [[ "$RUN_TIER1" == 1 ]]; then
+  echo "== tier-1: build + full test suite =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  (cd build && ctest --output-on-failure -j "$JOBS")
+fi
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "== TSan: parallel engine must be race-free =="
+  cmake -B build-tsan -S . -DLIBRA_SANITIZE=thread >/dev/null
+  # The determinism/engine tests are the ones that exercise cross-thread
+  # sharing (frozen brains, the pool, run_many); building the whole tree
+  # under TSan is unnecessary for the guarantee and triples the cycle time.
+  cmake --build build-tsan -j "$JOBS" --target parallel_test sim_test util_test
+  (cd build-tsan && ./tests/parallel_test && ./tests/sim_test && ./tests/util_test)
+fi
+
+echo "check.sh: all green"

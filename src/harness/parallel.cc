@@ -1,0 +1,68 @@
+#include "harness/parallel.h"
+
+#include <stdexcept>
+
+namespace libra {
+
+RunRequest RunRequest::single(Scenario scenario, CcaFactory factory,
+                              std::uint64_t seed, SimDuration warmup) {
+  RunRequest req;
+  req.scenario = std::move(scenario);
+  req.flows.push_back(FlowSpec{std::move(factory)});
+  req.seed = seed;
+  req.warmup = warmup;
+  return req;
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+std::vector<RunSummary> run_many(const std::vector<RunRequest>& requests,
+                                 ThreadPool& pool) {
+  for (const RunRequest& req : requests) {
+    if (req.flows.empty()) throw std::invalid_argument("run_many: request with no flows");
+  }
+  std::vector<RunSummary> results(requests.size());
+  pool.parallel_for(0, requests.size(), [&](std::size_t i) {
+    const RunRequest& req = requests[i];
+    auto net = run_scenario(req.scenario, req.flows, req.seed);
+    results[i] = summarize(*net, req.warmup, req.scenario.duration);
+  });
+  return results;
+}
+
+std::vector<RunSummary> run_many(const std::vector<RunRequest>& requests) {
+  return run_many(requests, default_pool());
+}
+
+AveragedSummary average_runs_parallel(const Scenario& scenario,
+                                      const CcaFactory& factory, int runs,
+                                      SimDuration warmup, ThreadPool& pool,
+                                      std::uint64_t base_seed) {
+  std::vector<RunRequest> batch;
+  batch.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    batch.push_back(RunRequest::single(
+        scenario, factory, base_seed + static_cast<std::uint64_t>(r), warmup));
+  }
+  std::vector<RunSummary> summaries = run_many(batch, pool);
+
+  AveragedSummary avg;
+  for (const RunSummary& s : summaries) {
+    avg.link_utilization += s.link_utilization;
+    avg.avg_delay_ms += s.avg_delay_ms;
+    avg.throughput_bps += s.total_throughput_bps;
+    avg.loss_rate += s.flows[0].loss_rate;
+  }
+  if (runs > 0) {
+    avg.link_utilization /= runs;
+    avg.avg_delay_ms /= runs;
+    avg.throughput_bps /= runs;
+    avg.loss_rate /= runs;
+  }
+  return avg;
+}
+
+}  // namespace libra

@@ -1,0 +1,62 @@
+// Parallel experiment engine: fans independent runs (seeds x scenarios x CCA
+// factories) across a thread pool.
+//
+// Every run owns its Network and EventQueue, so parallelism is strictly
+// per-run — nothing inside a simulation is shared mutably. Determinism
+// guarantee: run_many() returns, in submission order, RunSummary values
+// bitwise-identical to executing the same requests serially with run_single,
+// provided each factory builds controllers that do not write shared state
+// (all classic CCAs; learned CCAs in inference mode — frozen brains are
+// read-only and policy sampling uses per-instance RNG streams).
+//
+// Thread count comes from the pool; default_pool() honours the LIBRA_THREADS
+// environment variable, else uses every hardware thread.
+#pragma once
+
+#include <vector>
+
+#include "harness/runner.h"
+#include "harness/scenario.h"
+#include "util/thread_pool.h"
+
+namespace libra {
+
+/// One experiment: a scenario realization (per-run seed) driven by flows.
+struct RunRequest {
+  Scenario scenario;
+  /// Flows to attach; must be safe to invoke from worker threads.
+  std::vector<FlowSpec> flows;
+  std::uint64_t seed = 1;
+  SimDuration warmup = sec(2);
+
+  /// Single-flow convenience, mirroring run_single's signature.
+  static RunRequest single(Scenario scenario, CcaFactory factory,
+                           std::uint64_t seed, SimDuration warmup = sec(2));
+};
+
+/// Process-wide pool shared by the batch helpers (created on first use).
+ThreadPool& default_pool();
+
+/// Runs every request on `pool` and returns summaries in submission order.
+/// The first exception thrown by any run is rethrown after the batch drains.
+std::vector<RunSummary> run_many(const std::vector<RunRequest>& requests,
+                                 ThreadPool& pool);
+std::vector<RunSummary> run_many(const std::vector<RunRequest>& requests);
+
+/// Mean per-seed metrics (the paper averages 5 runs; benches default 3).
+struct AveragedSummary {
+  double link_utilization = 0;
+  double avg_delay_ms = 0;
+  double throughput_bps = 0;
+  double loss_rate = 0;  // of flow 0, matching the serial bench helper
+};
+
+/// Parallel replacement for the benches' seed-averaging loop: runs
+/// `runs` single-flow experiments with seeds base_seed..base_seed+runs-1
+/// and averages them. Deterministic: same inputs, same result, any pool.
+AveragedSummary average_runs_parallel(const Scenario& scenario,
+                                      const CcaFactory& factory, int runs,
+                                      SimDuration warmup, ThreadPool& pool,
+                                      std::uint64_t base_seed = 1000);
+
+}  // namespace libra

@@ -13,6 +13,7 @@
 #include "classic/vegas.h"
 #include "classic/westwood.h"
 #include "core/factory.h"
+#include "harness/parallel.h"
 #include "harness/trainer.h"
 #include "learned/aurora.h"
 #include "learned/indigo.h"
@@ -33,12 +34,30 @@ std::vector<std::string> CcaZoo::all_names() {
 }
 
 std::shared_ptr<RlBrain> CcaZoo::brain(const std::string& family) {
-  auto it = brains_.find(family);
-  if (it != brains_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(brains_mu_);
+    auto it = brains_.find(family);
+    if (it != brains_.end()) return it->second;
+  }
+  // Train outside the lock (minutes of work); last writer wins if two
+  // threads race to the same family — both produce identical brains.
   auto brain = train_or_load(family);
+  std::lock_guard<std::mutex> lock(brains_mu_);
   brains_[family] = brain;
   return brain;
 }
+
+std::vector<std::string> CcaZoo::brain_families() {
+  return {"libra-rl", "modified-rl", "aurora", "orca"};
+}
+
+void CcaZoo::train_all(ThreadPool& pool) {
+  const std::vector<std::string> families = brain_families();
+  pool.parallel_for(0, families.size(),
+                    [&](std::size_t i) { brain(families[i]); });
+}
+
+void CcaZoo::train_all() { train_all(default_pool()); }
 
 std::shared_ptr<RlBrain> CcaZoo::train_or_load(const std::string& family) {
   std::shared_ptr<RlBrain> brain;

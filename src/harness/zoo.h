@@ -6,11 +6,13 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "harness/runner.h"
 #include "learned/rl_cca.h"
+#include "util/thread_pool.h"
 
 namespace libra {
 
@@ -43,12 +45,23 @@ class CcaZoo {
   /// "libra-rl", "aurora", "orca", "modified-rl".
   std::shared_ptr<RlBrain> brain(const std::string& family);
 
+  /// The learned families brain() understands.
+  static std::vector<std::string> brain_families();
+
+  /// Trains (or loads) every brain family, fanning the independent trainings
+  /// across `pool`. Each family owns its brain and a private Trainer seeded
+  /// from the zoo config, so the result is bitwise-identical to training the
+  /// families one after another.
+  void train_all(ThreadPool& pool);
+  void train_all();
+
   const ZooConfig& config() const { return config_; }
 
  private:
   std::shared_ptr<RlBrain> train_or_load(const std::string& family);
 
   ZooConfig config_;
+  std::mutex brains_mu_;
   std::map<std::string, std::shared_ptr<RlBrain>> brains_;
 };
 

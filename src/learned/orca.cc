@@ -24,7 +24,7 @@ std::shared_ptr<RlBrain> make_orca_brain(std::uint64_t seed) {
 }
 
 Orca::Orca(OrcaParams params, std::shared_ptr<RlBrain> brain)
-    : params_(params), brain_(std::move(brain)),
+    : params_(params), brain_(std::move(brain)), sample_rng_(params.sampling_seed),
       cubic_(CubicParams{.mss = params.mss}), history_(kOrcaHistory) {
   if (!brain_) throw std::invalid_argument("Orca: brain required");
 }
@@ -67,7 +67,9 @@ Vector Orca::build_state(const MiReport& r) {
       default: break;
     }
   }
-  brain_->normalizer.update(frame);
+  // Frozen deployed policies keep their offline normalizer statistics (and
+  // concurrent inference runs must not write to the shared brain).
+  if (params_.training) brain_->normalizer.update(frame);
   history_.push(brain_->normalizer.normalize(frame));
 
   std::size_t frame_dim = feature_frame_size(orca_state_space());
@@ -115,7 +117,10 @@ void Orca::maybe_decide(SimTime now) {
   if (params_.training) {
     a = brain_->agent.act(state);
   } else if (params_.stochastic_inference) {
-    a = brain_->agent.act_sampled(state);
+    // Same draw distribution as PpoAgent::act_sampled, private RNG stream
+    // (keeps parallel runs race-free and individually deterministic).
+    a = brain_->agent.act_greedy(state) +
+        brain_->agent.exploration_stddev() * sample_rng_.normal();
   } else {
     a = brain_->agent.act_greedy(state);
   }

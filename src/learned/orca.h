@@ -23,6 +23,8 @@ struct OrcaParams {
   /// inappropriate multipliers are exactly the behaviour the paper's Fig. 2b
   /// safety analysis attributes Orca's variability to.
   bool stochastic_inference = true;
+  /// Private seed for inference-time policy sampling (see RlCcaConfig).
+  std::uint64_t sampling_seed = 0x02CA5EED;
   std::int64_t mss = kDefaultPacketBytes;
   /// Hard cap on the overridden window (kernels clamp cwnd too): without it,
   /// a run of sampled up-actions compounds 4x per period without bound.
@@ -60,6 +62,7 @@ class Orca final : public CongestionControl {
 
   OrcaParams params_;
   std::shared_ptr<RlBrain> brain_;
+  Rng sample_rng_{0x02CA5EED};
   Cubic cubic_;
   MiCollector collector_;
   RingBuffer<Vector> history_;

@@ -54,6 +54,7 @@ bool load_brain(RlBrain& brain, const std::string& path) {
 RlCca::RlCca(RlCcaConfig config, std::shared_ptr<RlBrain> brain)
     : config_(std::move(config)),
       brain_(std::move(brain)),
+      sample_rng_(config_.sampling_seed),
       history_(config_.history),
       rate_(config_.initial_rate) {
   if (!brain_) throw std::invalid_argument("RlCca: brain required");
@@ -229,7 +230,11 @@ void RlCca::learn_and_act(const MiReport& report) {
   }
 
   Vector frame = build_frame(report);
-  brain_->normalizer.update(frame);
+  // The normalizer learns only while training; frozen deployed policies keep
+  // the offline statistics. This also makes inference runs independent of
+  // each other (no shared-brain writes), which the parallel experiment
+  // engine's determinism guarantee relies on.
+  if (config_.training) brain_->normalizer.update(frame);
   history_.push(brain_->normalizer.normalize(frame));
 
   // Stack h frames, zero-padding while the history warms up.
@@ -246,7 +251,11 @@ void RlCca::learn_and_act(const MiReport& report) {
   if (config_.training) {
     action = brain_->agent.act(state);
   } else if (config_.stochastic_inference) {
-    action = brain_->agent.act_sampled(state);
+    // Sample the policy with this instance's own RNG: the draw distribution
+    // matches PpoAgent::act_sampled, but the stream is private, so concurrent
+    // runs sharing a frozen brain stay race-free and per-run deterministic.
+    action = brain_->agent.act_greedy(state) +
+             brain_->agent.exploration_stddev() * sample_rng_.normal();
   } else {
     action = brain_->agent.act_greedy(state);
   }

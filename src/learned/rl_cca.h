@@ -76,6 +76,9 @@ struct RlCcaConfig {
   /// actually deploy — source of the variability Fig. 2b studies) instead of
   /// taking the mean action.
   bool stochastic_inference = false;
+  /// Seed for this instance's private inference-sampling stream (kept off the
+  /// shared brain so parallel runs never contend on one RNG).
+  std::uint64_t sampling_seed = 0xCCA5EED;
   /// When true the chassis never closes MIs on its own; a wrapping controller
   /// (Libra) drives decisions via external_begin()/external_decide().
   bool external_control = false;
@@ -156,6 +159,7 @@ class RlCca : public CongestionControl {
 
   RlCcaConfig config_;
   std::shared_ptr<RlBrain> brain_;
+  Rng sample_rng_{0xCCA5EED};
   MiCollector collector_;
   RingBuffer<Vector> history_;
   RateBps rate_;

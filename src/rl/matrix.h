@@ -2,6 +2,7 @@
 // the RL congestion controllers. No external dependencies.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <stdexcept>
 #include <vector>
@@ -28,34 +29,50 @@ class Matrix {
 
   void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
-  /// y = W x  (rows x cols) * (cols) -> (rows)
-  Vector multiply(const Vector& x) const {
-    if (x.size() != cols_) throw std::invalid_argument("Matrix::multiply: dim mismatch");
-    Vector y(rows_, 0.0);
+  /// y = W x, written into a caller-owned buffer (resized to `rows`); lets
+  /// inference loops reuse scratch space instead of allocating per layer.
+  /// Shape checks are assert-based: this is the per-ACK hot path, and every
+  /// caller's dimensions are fixed at network construction.
+  void multiply_into(const Vector& x, Vector& y) const {
+    assert(x.size() == cols_ && "Matrix::multiply: dim mismatch");
+    assert(&x != &y && "Matrix::multiply: aliased in/out");
+    y.resize(rows_);
     for (std::size_t r = 0; r < rows_; ++r) {
       double acc = 0.0;
       const double* row = &data_[r * cols_];
       for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
       y[r] = acc;
     }
+  }
+
+  /// y = W x  (rows x cols) * (cols) -> (rows)
+  Vector multiply(const Vector& x) const {
+    Vector y;
+    multiply_into(x, y);
     return y;
   }
 
-  /// y = W^T x  (rows x cols)^T * (rows) -> (cols)
-  Vector multiply_transposed(const Vector& x) const {
-    if (x.size() != rows_) throw std::invalid_argument("multiply_transposed: dim mismatch");
-    Vector y(cols_, 0.0);
+  /// y = W^T x, into a caller-owned buffer (resized to `cols`).
+  void multiply_transposed_into(const Vector& x, Vector& y) const {
+    assert(x.size() == rows_ && "multiply_transposed: dim mismatch");
+    assert(&x != &y && "multiply_transposed: aliased in/out");
+    y.assign(cols_, 0.0);
     for (std::size_t r = 0; r < rows_; ++r) {
       const double* row = &data_[r * cols_];
       for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * x[r];
     }
+  }
+
+  /// y = W^T x  (rows x cols)^T * (rows) -> (cols)
+  Vector multiply_transposed(const Vector& x) const {
+    Vector y;
+    multiply_transposed_into(x, y);
     return y;
   }
 
   /// this += scale * (a outer b), a has `rows` entries, b has `cols` entries.
   void add_outer(const Vector& a, const Vector& b, double scale = 1.0) {
-    if (a.size() != rows_ || b.size() != cols_)
-      throw std::invalid_argument("add_outer: dim mismatch");
+    assert(a.size() == rows_ && b.size() == cols_ && "add_outer: dim mismatch");
     for (std::size_t r = 0; r < rows_; ++r) {
       double* row = &data_[r * cols_];
       for (std::size_t c = 0; c < cols_; ++c) row[c] += scale * a[r] * b[c];

@@ -26,49 +26,70 @@ Mlp::Mlp(const std::vector<std::size_t>& sizes, Rng& rng) : sizes_(sizes) {
 
 Vector Mlp::forward(const Vector& input) {
   if (input.size() != sizes_.front()) throw std::invalid_argument("Mlp: bad input size");
-  activations_.assign(1, input);
-  Vector x = input;
+  // In-place writes keep the cache's buffers alive across calls: after the
+  // first pass no forward() allocates.
+  activations_.resize(layers_.size() + 1);
+  activations_[0] = input;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    Vector z = layers_[i].weights.multiply(x);
+    Vector& z = activations_[i + 1];
+    layers_[i].weights.multiply_into(activations_[i], z);
     axpy(z, layers_[i].bias, 1.0);
     if (i + 1 < layers_.size()) {
       for (double& v : z) v = std::tanh(v);
     }
-    activations_.push_back(z);
-    x = std::move(z);
   }
-  return x;
+  return activations_.back();
+}
+
+void Mlp::evaluate_into(const Vector& input, Vector& out) const {
+  if (input.size() != sizes_.front()) throw std::invalid_argument("Mlp: bad input size");
+  // Per-thread ping-pong scratch: concurrent evaluation of one shared frozen
+  // model from the parallel experiment engine must not share buffers.
+  thread_local Vector ping, pong;
+  const Vector* x = &input;
+  bool use_ping = true;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const bool last = i + 1 == layers_.size();
+    Vector& z = last ? out : (use_ping ? ping : pong);
+    layers_[i].weights.multiply_into(*x, z);
+    axpy(z, layers_[i].bias, 1.0);
+    if (!last) {
+      for (double& v : z) v = std::tanh(v);
+    }
+    x = &z;
+    use_ping = !use_ping;
+  }
+}
+
+double Mlp::evaluate1(const Vector& input) const {
+  thread_local Vector out;
+  evaluate_into(input, out);
+  return out[0];
 }
 
 Vector Mlp::evaluate(const Vector& input) const {
-  if (input.size() != sizes_.front()) throw std::invalid_argument("Mlp: bad input size");
-  Vector x = input;
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    Vector z = layers_[i].weights.multiply(x);
-    axpy(z, layers_[i].bias, 1.0);
-    if (i + 1 < layers_.size()) {
-      for (double& v : z) v = std::tanh(v);
-    }
-    x = std::move(z);
-  }
-  return x;
+  Vector out;
+  evaluate_into(input, out);
+  return out;
 }
 
 Vector Mlp::backward(const Vector& grad_output) {
   if (activations_.size() != layers_.size() + 1)
     throw std::logic_error("Mlp::backward without a cached forward pass");
-  Vector grad = grad_output;
+  grad_cur_ = grad_output;
   for (std::size_t i = layers_.size(); i-- > 0;) {
     // For hidden layers the cached activation is tanh(z); d tanh = 1 - a^2.
     if (i + 1 < layers_.size()) {
       const Vector& act = activations_[i + 1];
-      for (std::size_t j = 0; j < grad.size(); ++j) grad[j] *= 1.0 - act[j] * act[j];
+      for (std::size_t j = 0; j < grad_cur_.size(); ++j)
+        grad_cur_[j] *= 1.0 - act[j] * act[j];
     }
-    layers_[i].grad_weights.add_outer(grad, activations_[i]);
-    axpy(layers_[i].grad_bias, grad, 1.0);
-    grad = layers_[i].weights.multiply_transposed(grad);
+    layers_[i].grad_weights.add_outer(grad_cur_, activations_[i]);
+    axpy(layers_[i].grad_bias, grad_cur_, 1.0);
+    layers_[i].weights.multiply_transposed_into(grad_cur_, grad_next_);
+    std::swap(grad_cur_, grad_next_);
   }
-  return grad;
+  return grad_cur_;
 }
 
 void Mlp::zero_gradients() {

@@ -22,6 +22,16 @@ class Mlp {
   /// Forward pass without touching the gradient cache (inference-only).
   Vector evaluate(const Vector& input) const;
 
+  /// Fused inference into a caller-owned buffer: hidden-layer activations go
+  /// through per-thread scratch space, so steady-state cost is zero
+  /// allocations. Safe to call concurrently on a shared (read-only) model —
+  /// the per-ACK path of every frozen learned CCA under the parallel engine.
+  void evaluate_into(const Vector& input, Vector& out) const;
+
+  /// evaluate(input)[0] without materializing the output vector (the actor
+  /// and critic both have 1-wide outputs).
+  double evaluate1(const Vector& input) const;
+
   /// Accumulates parameter gradients for the cached forward pass given
   /// dLoss/dOutput; returns dLoss/dInput. Call zero_gradients() between
   /// optimizer steps (gradients accumulate across calls, enabling batching).
@@ -51,8 +61,11 @@ class Mlp {
   std::vector<std::size_t> sizes_;
   std::vector<Layer> layers_;
   // Forward cache: activations_[0] is the input; activations_[i+1] is the
-  // post-activation output of layer i.
+  // post-activation output of layer i. Buffers are reused across calls.
   std::vector<Vector> activations_;
+  // Backward scratch (training is single-threaded per model, so members are
+  // fine here; inference scratch is thread-local instead).
+  Vector grad_cur_, grad_next_;
 };
 
 }  // namespace libra

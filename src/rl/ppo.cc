@@ -40,10 +40,10 @@ double PpoAgent::act(const Vector& state) {
   if (state.size() != config_.state_dim)
     throw std::invalid_argument("PpoAgent::act: state dim mismatch");
 
-  double value = critic_->evaluate(state)[0];
+  double value = critic_->evaluate1(state);
   if (buffer_.size() >= config_.horizon) update(value);
 
-  double mean = actor_->evaluate(state)[0];
+  double mean = actor_->evaluate1(state);
   double action = mean + std::exp(log_std_) * rng_.normal();
 
   Transition t;
@@ -58,13 +58,13 @@ double PpoAgent::act(const Vector& state) {
 double PpoAgent::act_greedy(const Vector& state) const {
   if (state.size() != config_.state_dim)
     throw std::invalid_argument("PpoAgent::act_greedy: state dim mismatch");
-  return actor_->evaluate(state)[0];
+  return actor_->evaluate1(state);
 }
 
 double PpoAgent::act_sampled(const Vector& state) {
   if (state.size() != config_.state_dim)
     throw std::invalid_argument("PpoAgent::act_sampled: state dim mismatch");
-  return actor_->evaluate(state)[0] + std::exp(log_std_) * rng_.normal();
+  return actor_->evaluate1(state) + std::exp(log_std_) * rng_.normal();
 }
 
 void PpoAgent::give_reward(double reward, bool done) {

@@ -3,27 +3,47 @@
 // Events are totally ordered by (time, insertion sequence) so simulations are
 // deterministic: two events at the same instant fire in the order they were
 // scheduled.
+//
+// Hot-path notes: callbacks are SmallFunction, so the closures the simulator
+// schedules (sender timers, ACK deliveries carrying a Packet) never touch the
+// heap. The priority queue itself sifts only 24-byte {time, seq, slot} keys
+// over a plain vector; the callbacks sit still in a slot pool and are moved
+// exactly once, when their event fires. Keeping the fat payload out of the
+// heap keeps sift traffic small, and popping through mutable access avoids
+// the const_cast that std::priority_queue::top() would force.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <stdexcept>
 #include <vector>
 
+#include "util/small_function.h"
 #include "util/types.h"
 
 namespace libra {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  // Sized for the largest simulator capture (the ACK closure: Packet + two
+  // words of context); anything bigger degrades to one heap allocation.
+  using Callback = SmallFunction<88>;
 
   SimTime now() const { return now_; }
 
   void schedule_at(SimTime t, Callback cb) {
     if (t < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
-    heap_.push(Event{t, next_seq_++, std::move(cb)});
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(std::move(cb));
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = std::move(cb);
+    }
+    heap_.push_back(Key{t, next_seq_++, slot});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   void schedule_in(SimDuration d, Callback cb) { schedule_at(now_ + d, std::move(cb)); }
@@ -31,37 +51,54 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
 
+  /// Events executed since construction (events/sec telemetry for benches).
+  std::uint64_t processed() const { return processed_; }
+
   /// Executes the earliest event; returns false when the queue is empty.
   bool run_next() {
     if (heap_.empty()) return false;
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    now_ = ev.time;
-    ev.callback();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const Key key = heap_.back();
+    heap_.pop_back();
+    // Move the callback out and recycle its slot *before* invoking: the
+    // callback is free to schedule new events, which may reuse the slot.
+    Callback cb = std::move(slots_[key.slot]);
+    free_slots_.push_back(key.slot);
+    now_ = key.time;
+    ++processed_;
+    cb();
     return true;
   }
 
   /// Runs every event with time <= t, then advances the clock to exactly t.
   void run_until(SimTime t) {
-    while (!heap_.empty() && heap_.top().time <= t) run_next();
+    while (!heap_.empty() && heap_.front().time <= t) run_next();
     if (t > now_) now_ = t;
   }
 
   void run_for(SimDuration d) { run_until(now_ + d); }
 
  private:
-  struct Event {
+  struct Key {
     SimTime time;
     std::uint64_t seq;
-    Callback callback;
-    bool operator>(const Event& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
+    std::uint32_t slot;
+  };
+
+  // std::push_heap builds a max-heap, so "greater" ordering puts the earliest
+  // (time, seq) at the front.
+  struct Later {
+    bool operator()(const Key& a, const Key& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::vector<Key> heap_;
+  std::vector<Callback> slots_;         // indexed by Key::slot
+  std::vector<std::uint32_t> free_slots_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
 };
 
 }  // namespace libra

@@ -3,13 +3,13 @@
 // This is the simulator's stand-in for a Mahimahi link shell.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 
 #include "sim/event_queue.h"
 #include "sim/packet.h"
 #include "trace/rate_trace.h"
+#include "util/fifo_ring.h"
 #include "util/rng.h"
 
 namespace libra {
@@ -52,7 +52,7 @@ class DropTailLink {
   EventQueue& events_;
   LinkConfig config_;
   Rng rng_;
-  std::deque<Packet> queue_;
+  FifoRing<Packet> queue_;
   std::int64_t queue_bytes_ = 0;
   std::int64_t delivered_bytes_ = 0;
   bool transmitting_ = false;

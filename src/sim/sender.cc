@@ -78,8 +78,8 @@ void Sender::transmit_one() {
   pkt.delivered_at_send = delivered_bytes_;
   pkt.delivered_time_at_send = delivered_time_ > 0 ? delivered_time_ : now;
 
-  outstanding_[pkt.seq] = {now, pkt.bytes, pkt.delivered_at_send,
-                           pkt.delivered_time_at_send};
+  outstanding_.push(pkt.seq, {now, pkt.bytes, pkt.delivered_at_send,
+                              pkt.delivered_time_at_send});
   bytes_in_flight_ += pkt.bytes;
   ++packets_sent_;
 
@@ -110,11 +110,11 @@ SimDuration Sender::rto() const {
 
 void Sender::on_ack_packet(const Packet& pkt) {
   const SimTime now = events_.now();
-  auto it = outstanding_.find(pkt.seq);
-  if (it == outstanding_.end()) return;  // already declared lost: spurious
+  const Outstanding* found = outstanding_.find(pkt.seq);
+  if (!found) return;  // already declared lost: spurious
 
-  const Outstanding info = it->second;
-  outstanding_.erase(it);
+  const Outstanding info = *found;
+  outstanding_.erase(pkt.seq);
   bytes_in_flight_ -= info.bytes;
   ++packets_acked_;
 
@@ -147,13 +147,11 @@ void Sender::detect_packet_threshold_losses() {
   // FIFO bottleneck + in-order ACK path: a packet trailing the highest ACK by
   // the reorder threshold is gone.
   while (!outstanding_.empty()) {
-    auto it = outstanding_.begin();
-    if (it->first + static_cast<std::uint64_t>(config_.reorder_threshold) >
-        highest_acked_)
+    std::uint64_t seq = outstanding_.front_seq();
+    if (seq + static_cast<std::uint64_t>(config_.reorder_threshold) > highest_acked_)
       break;
-    Outstanding info = it->second;
-    std::uint64_t seq = it->first;
-    outstanding_.erase(it);
+    Outstanding info = outstanding_.front();
+    outstanding_.erase(seq);
     declare_lost(seq, info, /*from_timeout=*/false);
   }
 }
@@ -162,11 +160,10 @@ void Sender::detect_rto_losses() {
   const SimTime now = events_.now();
   const SimDuration timeout = rto();
   while (!outstanding_.empty()) {
-    auto it = outstanding_.begin();
-    if (now - it->second.sent_time < timeout) break;
-    Outstanding info = it->second;
-    std::uint64_t seq = it->first;
-    outstanding_.erase(it);
+    if (now - outstanding_.front().sent_time < timeout) break;
+    std::uint64_t seq = outstanding_.front_seq();
+    Outstanding info = outstanding_.front();
+    outstanding_.erase(seq);
     declare_lost(seq, info, /*from_timeout=*/true);
   }
 }

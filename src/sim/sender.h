@@ -7,9 +7,10 @@
 // pacing rate (or derived from cwnd/SRTT for purely window-based CCAs).
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
+#include <vector>
 
 #include "sim/congestion_control.h"
 #include "sim/event_queue.h"
@@ -74,6 +75,77 @@ class Sender {
     SimTime delivered_time_at_send = 0;
   };
 
+  // In-flight packet window keyed by sequence number. Sequences are handed
+  // out monotonically and retired either from the front (loss detection) or
+  // at an arbitrary recent position (ACKs), so a ring of recycled slots
+  // replaces the std::map whose node-per-packet allocations dominated the
+  // send/ack profile. Invariant: when non-empty, the front slot is live.
+  class OutstandingWindow {
+   public:
+    void push(std::uint64_t seq, const Outstanding& info) {
+      if (count_ == slots_.size()) grow();
+      Slot& s = slots_[(head_ + count_) & (slots_.size() - 1)];
+      s.info = info;
+      s.live = true;
+      if (count_ == 0) base_ = seq;
+      ++count_;
+      ++live_;
+    }
+
+    /// Live entry for `seq`, or nullptr if unknown / already retired.
+    const Outstanding* find(std::uint64_t seq) const {
+      const Slot* s = slot_for(seq);
+      return s && s->live ? &s->info : nullptr;
+    }
+
+    /// Retires `seq` and trims retired slots off the front.
+    void erase(std::uint64_t seq) {
+      Slot* s = slot_for(seq);
+      if (!s || !s->live) return;
+      s->live = false;
+      --live_;
+      while (count_ > 0 && !slots_[head_].live) {
+        head_ = (head_ + 1) & (slots_.size() - 1);
+        ++base_;
+        --count_;
+      }
+    }
+
+    bool empty() const { return live_ == 0; }
+    std::uint64_t front_seq() const { return base_; }
+    const Outstanding& front() const { return slots_[head_].info; }
+
+   private:
+    struct Slot {
+      Outstanding info;
+      bool live = false;
+    };
+
+    Slot* slot_for(std::uint64_t seq) {
+      if (count_ == 0 || seq < base_ || seq - base_ >= count_) return nullptr;
+      return &slots_[(head_ + (seq - base_)) & (slots_.size() - 1)];
+    }
+    const Slot* slot_for(std::uint64_t seq) const {
+      return const_cast<OutstandingWindow*>(this)->slot_for(seq);
+    }
+
+    void grow() {
+      std::size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+      std::vector<Slot> bigger(cap);
+      for (std::size_t i = 0; i < count_; ++i) {
+        bigger[i] = slots_[(head_ + i) & (slots_.size() - 1)];
+      }
+      slots_ = std::move(bigger);
+      head_ = 0;
+    }
+
+    std::vector<Slot> slots_;
+    std::uint64_t base_ = 0;  // seq of the front slot
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;   // span including retired holes
+    std::size_t live_ = 0;
+  };
+
   void maybe_send();
   void transmit_one();
   void on_tick();
@@ -89,7 +161,7 @@ class Sender {
   std::unique_ptr<CongestionControl> cca_;
   TransmitFn transmit_;
 
-  std::map<std::uint64_t, Outstanding> outstanding_;
+  OutstandingWindow outstanding_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t highest_acked_ = 0;
   bool any_acked_ = false;

@@ -1,0 +1,123 @@
+// Fixed-size worker pool for fan-out of independent simulations.
+//
+// Each experiment (seed x scenario x CCA) owns its Network and EventQueue, so
+// parallelism is always per-run, never intra-run: submitting N runs to the
+// pool preserves bitwise determinism while using every core. `submit` returns
+// a std::future (exceptions propagate through it); `parallel_for` blocks
+// until a whole index range has been processed.
+#pragma once
+
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace libra {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means default_thread_count().
+  explicit ThreadPool(std::size_t threads = 0) {
+    if (threads == 0) threads = default_thread_count();
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// LIBRA_THREADS env var if set (>=1), else the hardware concurrency.
+  static std::size_t default_thread_count() {
+    if (const char* env = std::getenv("LIBRA_THREADS")) {
+      long n = std::strtol(env, nullptr, 10);
+      if (n >= 1) return static_cast<std::size_t>(n);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+  }
+
+  /// Enqueues `fn(args...)`; the returned future delivers the result or
+  /// rethrows whatever the task threw.
+  template <typename F, typename... Args>
+  auto submit(F&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>...>> {
+    using R = std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [f = std::forward<F>(fn),
+         tup = std::make_tuple(std::forward<Args>(args)...)]() mutable -> R {
+          return std::apply(std::move(f), std::move(tup));
+        });
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      tasks_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for every i in [begin, end), fanned across the pool; blocks
+  /// until the range is done. The first task exception (lowest index wins on
+  /// ties by submission order) is rethrown on the caller.
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, F&& fn) {
+    if (begin >= end) return;
+    std::vector<std::future<void>> pending;
+    pending.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      pending.push_back(submit([&fn, i] { fn(i); }));
+    }
+    std::exception_ptr first_error;
+    for (auto& f : pending) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping_ set and queue drained
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace libra

@@ -1,0 +1,242 @@
+// Thread pool unit tests and the parallel experiment engine's determinism
+// guarantee: run_many() must be bitwise-identical to serial execution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "classic/cubic.h"
+#include "core/factory.h"
+#include "harness/parallel.h"
+#include "harness/scenario.h"
+#include "harness/zoo.h"
+#include "util/thread_pool.h"
+
+namespace libra {
+namespace {
+
+// --- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitForwardsArguments) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([](int a, int b) { return a + b; }, 40, 2);
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(5, 5, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ParallelForRethrowsTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for(0, 16,
+                                 [&](std::size_t i) {
+                                   if (i == 7) throw std::logic_error("task 7");
+                                   completed.fetch_add(1);
+                                 }),
+               std::logic_error);
+  EXPECT_EQ(completed.load(), 15);  // the batch still drains
+}
+
+TEST(ThreadPool, ManyTasksOnFewThreads) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futs;
+  for (long i = 1; i <= 200; ++i) {
+    futs.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), 200L * 201 / 2);
+}
+
+// --- run_many determinism ---------------------------------------------------
+
+std::vector<RunRequest> classic_sweep() {
+  Scenario s = wired_scenario(24);
+  s.duration = sec(8);
+  s.stochastic_loss = 0.02;  // exercises the per-run RNG path
+  std::vector<RunRequest> reqs;
+  for (std::uint64_t seed = 100; seed < 106; ++seed) {
+    reqs.push_back(RunRequest::single(
+        s, [] { return std::make_unique<Cubic>(); }, seed));
+  }
+  return reqs;
+}
+
+void expect_bitwise_equal(const RunSummary& a, const RunSummary& b) {
+  // Exact comparison on purpose: the guarantee is bitwise determinism, not
+  // approximate agreement.
+  EXPECT_EQ(a.link_utilization, b.link_utilization);
+  EXPECT_EQ(a.avg_delay_ms, b.avg_delay_ms);
+  EXPECT_EQ(a.total_throughput_bps, b.total_throughput_bps);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].throughput_bps, b.flows[i].throughput_bps);
+    EXPECT_EQ(a.flows[i].avg_rtt_ms, b.flows[i].avg_rtt_ms);
+    EXPECT_EQ(a.flows[i].loss_rate, b.flows[i].loss_rate);
+  }
+}
+
+TEST(RunMany, BitwiseIdenticalToSerialForClassicCca) {
+  std::vector<RunRequest> reqs = classic_sweep();
+
+  std::vector<RunSummary> serial;
+  for (const RunRequest& r : reqs) {
+    auto net = run_scenario(r.scenario, r.flows, r.seed);
+    serial.push_back(summarize(*net, r.warmup, r.scenario.duration));
+  }
+
+  ThreadPool pool(4);
+  std::vector<RunSummary> parallel = run_many(reqs, pool);
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_bitwise_equal(parallel[i], serial[i]);
+  }
+}
+
+TEST(RunMany, BitwiseIdenticalToSerialForLearnedCca) {
+  // Frozen (inference-mode) C-Libra sharing one brain across all runs: the
+  // brain is read-only during inference and policy sampling uses the
+  // instance's private RNG, so concurrent runs must match serial ones.
+  RlCcaConfig cfg = libra_rl_config();
+  auto brain = std::make_shared<RlBrain>(make_ppo_config(cfg, 3, {8, 8}),
+                                         feature_frame_size(cfg.features));
+  CcaFactory factory = [brain] { return make_c_libra(brain, /*training=*/false); };
+
+  Scenario s = wired_scenario(24);
+  s.duration = sec(8);
+  std::vector<RunRequest> reqs;
+  for (std::uint64_t seed = 7; seed < 12; ++seed) {
+    reqs.push_back(RunRequest::single(s, factory, seed));
+  }
+
+  std::vector<RunSummary> serial;
+  for (const RunRequest& r : reqs) {
+    auto net = run_scenario(r.scenario, r.flows, r.seed);
+    serial.push_back(summarize(*net, r.warmup, r.scenario.duration));
+  }
+
+  ThreadPool pool(4);
+  std::vector<RunSummary> parallel = run_many(reqs, pool);
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_bitwise_equal(parallel[i], serial[i]);
+  }
+}
+
+TEST(RunMany, ResultsComeBackInSubmissionOrder) {
+  // Three distinguishable scenarios (different capacities) in one batch.
+  std::vector<RunRequest> reqs;
+  for (double rate : {6.0, 24.0, 96.0}) {
+    Scenario s = wired_scenario(rate);
+    s.duration = sec(6);
+    reqs.push_back(RunRequest::single(
+        s, [] { return std::make_unique<Cubic>(); }, 1));
+  }
+  ThreadPool pool(3);
+  std::vector<RunSummary> out = run_many(reqs, pool);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_LT(out[0].total_throughput_bps, out[1].total_throughput_bps);
+  EXPECT_LT(out[1].total_throughput_bps, out[2].total_throughput_bps);
+}
+
+TEST(RunMany, RejectsFlowlessRequest) {
+  RunRequest empty;
+  empty.scenario = wired_scenario(24);
+  ThreadPool pool(1);
+  EXPECT_THROW(run_many({empty}, pool), std::invalid_argument);
+}
+
+TEST(AverageRunsParallel, MatchesSerialAveraging) {
+  Scenario s = wired_scenario(24);
+  s.duration = sec(6);
+  CcaFactory factory = [] { return std::make_unique<Cubic>(); };
+
+  double util = 0, delay = 0;
+  constexpr int kRuns = 4;
+  for (int r = 0; r < kRuns; ++r) {
+    RunSummary sum = run_single(s, factory, 1000 + static_cast<std::uint64_t>(r));
+    util += sum.link_utilization;
+    delay += sum.avg_delay_ms;
+  }
+
+  ThreadPool pool(4);
+  AveragedSummary avg = average_runs_parallel(s, factory, kRuns, sec(2), pool);
+  EXPECT_EQ(avg.link_utilization, util / kRuns);
+  EXPECT_EQ(avg.avg_delay_ms, delay / kRuns);
+}
+
+// --- CcaZoo::train_all ------------------------------------------------------
+
+TEST(CcaZoo, TrainAllProducesEveryBrainFamily) {
+  ZooConfig cfg;
+  cfg.brain_dir = "";  // no cache: force actual (tiny) training
+  cfg.train_episodes = 1;
+  cfg.hidden_width = 8;
+  CcaZoo zoo(cfg);
+
+  ThreadPool pool(4);
+  zoo.train_all(pool);
+
+  for (const std::string& family : CcaZoo::brain_families()) {
+    auto brain = zoo.brain(family);  // cached now: must not retrain
+    ASSERT_NE(brain, nullptr) << family;
+    EXPECT_GT(brain->agent.config().state_dim, 0u) << family;
+  }
+}
+
+TEST(CcaZoo, ParallelTrainingMatchesSerialTraining) {
+  ZooConfig cfg;
+  cfg.brain_dir = "";
+  cfg.train_episodes = 1;
+  cfg.hidden_width = 8;
+
+  CcaZoo serial_zoo(cfg);
+  for (const std::string& family : CcaZoo::brain_families()) {
+    serial_zoo.brain(family);
+  }
+
+  CcaZoo parallel_zoo(cfg);
+  ThreadPool pool(4);
+  parallel_zoo.train_all(pool);
+
+  // Same seeds, independent trainers => identical learned parameters.
+  for (const std::string& family : CcaZoo::brain_families()) {
+    std::ostringstream a, b;
+    serial_zoo.brain(family)->agent.save(a);
+    parallel_zoo.brain(family)->agent.save(b);
+    EXPECT_EQ(a.str(), b.str()) << family;
+  }
+}
+
+}  // namespace
+}  // namespace libra

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+
 #include "sim/event_queue.h"
 #include "sim/link.h"
 #include "sim/network.h"
@@ -50,6 +53,99 @@ TEST(EventQueue, RejectsPast) {
 TEST(EventQueue, RunNextReturnsFalseWhenEmpty) {
   EventQueue q;
   EXPECT_FALSE(q.run_next());
+}
+
+TEST(EventQueue, SameTimeFifoAcrossManyEventsAndHeapGrowth) {
+  // Enough events to force several storage growths mid-stream; insertion
+  // order must survive the heap's internal moves.
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 500; ++i)
+    q.schedule_at(msec(10), [&order, i] { order.push_back(i); });
+  q.run_until(msec(10));
+  ASSERT_EQ(order.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, SchedulingFromInsideCallbackAtCurrentInstant) {
+  // An event scheduled for "now" from inside a callback runs within the same
+  // run_until, after every previously scheduled same-time event.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(msec(10), [&] {
+    order.push_back(0);
+    q.schedule_at(msec(10), [&] { order.push_back(2); });
+  });
+  q.schedule_at(msec(10), [&] { order.push_back(1); });
+  q.run_until(msec(10));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.now(), msec(10));
+}
+
+TEST(EventQueue, RunUntilAdvancesClockPastLastEvent) {
+  EventQueue q;
+  q.schedule_at(msec(3), [] {});
+  q.run_until(msec(50));
+  EXPECT_EQ(q.now(), msec(50));
+  q.run_until(msec(50));  // idempotent
+  EXPECT_EQ(q.now(), msec(50));
+  q.run_until(msec(40));  // never moves backwards
+  EXPECT_EQ(q.now(), msec(50));
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEventsPending) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(msec(10), [&] { ++fired; });
+  q.schedule_at(msec(30), [&] { ++fired; });
+  q.run_until(msec(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.now(), msec(20));
+  q.run_until(msec(30));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CountsProcessedEvents) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule_at(msec(i), [] {});
+  q.run_until(msec(3));
+  EXPECT_EQ(q.processed(), 4u);  // t = 0,1,2,3
+  q.run_until(msec(10));
+  EXPECT_EQ(q.processed(), 7u);
+}
+
+TEST(EventQueue, LargeCaptureCallback) {
+  // A capture bigger than the inline buffer takes the heap fallback; behavior
+  // must be unchanged.
+  EventQueue q;
+  std::array<double, 32> payload{};
+  payload[31] = 42.0;
+  double seen = 0;
+  q.schedule_at(msec(1), [payload, &seen] { seen = payload[31]; });
+  q.run_until(msec(1));
+  EXPECT_EQ(seen, 42.0);
+}
+
+TEST(EventQueue, MoveOnlyCaptureCallback) {
+  EventQueue q;
+  auto value = std::make_unique<int>(99);
+  int seen = 0;
+  q.schedule_at(msec(1), [v = std::move(value), &seen] { seen = *v; });
+  q.run_until(msec(1));
+  EXPECT_EQ(seen, 99);
+}
+
+TEST(EventQueue, DestroysUnrunCallbacks) {
+  // Pending events dropped with the queue must release their captures.
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    EventQueue q;
+    q.schedule_at(msec(5), [t = std::move(token)] { (void)t; });
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
 }
 
 LinkConfig test_link(RateBps rate = mbps(12), std::int64_t buffer = 15000,

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "util/ewma.h"
+#include "util/fifo_ring.h"
 #include "util/ring_buffer.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -182,6 +183,35 @@ TEST(WindowedFilter, InvalidUntilFirstSample) {
   EXPECT_FALSE(f.valid());
   f.update(1.0, 0);
   EXPECT_TRUE(f.valid());
+}
+
+TEST(FifoRing, FifoOrderAcrossGrowth) {
+  FifoRing<int> q(2);
+  for (int i = 0; i < 100; ++i) q.push_back(i);
+  EXPECT_EQ(q.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FifoRing, InterleavedPushPopWrapsAround) {
+  FifoRing<int> q(4);
+  int next_in = 0, next_out = 0;
+  for (int round = 0; round < 50; ++round) {
+    q.push_back(next_in++);
+    q.push_back(next_in++);
+    EXPECT_EQ(q.front(), next_out);
+    q.pop_front();
+    ++next_out;
+  }
+  EXPECT_EQ(q.size(), 50u);
+  while (!q.empty()) {
+    EXPECT_EQ(q.front(), next_out++);
+    q.pop_front();
+  }
+  EXPECT_EQ(next_out, next_in);
 }
 
 }  // namespace
