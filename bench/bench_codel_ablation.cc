@@ -9,7 +9,8 @@
 #include "classic/cubic.h"
 #include "sim/codel_network.h"
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("CoDel ablation", "endpoint (Libra) vs in-network (CoDel) delay control");

@@ -4,7 +4,8 @@
 // / driving), 30 ms min RTT, 150 KB buffer.
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Fig. 1", "adaptability: link utilization + avg delay per scenario");

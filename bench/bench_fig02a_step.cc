@@ -4,7 +4,8 @@
 // span) and Proteus re-converges slowly; Libra tracks every level.
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Fig. 2a", "throughput timeline over the step scenario");

@@ -7,7 +7,8 @@
 
 #include "stats/cdf.h"
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Fig. 2b", "CDF of link utilization over repeated cellular runs");

@@ -4,7 +4,8 @@
 // CPU-utilization measurement); memory = the algorithm's resident state.
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Fig. 2c", "normalized CPU / memory overhead per CCA");

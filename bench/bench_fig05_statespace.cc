@@ -20,7 +20,8 @@ RlCcaConfig with_features(std::vector<StateFeature> f, const std::string& name) 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Fig. 5", "reward curves per state-space choice (paper Tab. 1 rows)");

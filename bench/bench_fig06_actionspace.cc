@@ -6,7 +6,8 @@
 #include "harness/trainer.h"
 #include "learned/rl_cca.h"
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Fig. 6", "reward curves for AIAD vs MIMD action spaces");

@@ -35,7 +35,8 @@ void run_set(const std::vector<libra::Scenario>& set, const std::string& label) 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Fig. 7", "throughput/delay scatter over wired and cellular sets");

@@ -2,28 +2,43 @@
 // Prints per-second capacity and achieved throughput for C-Libra, B-Libra,
 // Proteus, CUBIC, BBR and Orca plus a tracking-error summary. Paper shape:
 // Libra follows the capacity; CUBIC overshoots after dips, Proteus lags.
+//
+// Flags: --duration=SECS lengthens the run; --record=PREFIX streams each
+// CCA's flight-recorder trace to PREFIX<cca>.jsonl (tools/trace_summarize
+// reproduces the run-summary table below from those traces); --json[=PATH]
+// emits the tables as JSON.
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace libra;
   using namespace libra::benchx;
+  BenchArgs args = parse_args(argc, argv);
   header("Fig. 8", "tracking a varying LTE capacity (driving profile)");
 
   Scenario s = lte_scenario(LteProfile::kDriving, "lte-driving");
-  s.duration = sec(35);
+  s.duration = args.duration_s > 0 ? seconds(args.duration_s) : sec(35);
   auto trace = s.make_trace(9);
+  const int secs = static_cast<int>(s.duration / sec(1));
+  const SimDuration warmup = sec(2);
 
   const std::vector<std::string> ccas = {"c-libra", "b-libra", "proteus",
                                          "cubic", "bbr", "orca"};
   std::vector<std::vector<double>> series;
+  std::vector<RunSummary> summaries;
   for (const std::string& name : ccas) {
-    auto net = run_scenario(s, {{zoo().factory(name)}}, 9);
+    ObsOptions obs;
+    if (!args.record_prefix.empty()) {
+      obs.record = true;
+      obs.trace_path = args.record_prefix + name + ".jsonl";
+    }
+    auto net = run_scenario(s, {{zoo().factory(name)}}, 9, obs);
     series.push_back(net->flow(0).acked_bytes_series().to_rate_bins(sec(1), s.duration));
+    summaries.push_back(summarize(*net, warmup, s.duration));
   }
 
   Table t({"t(s)", "capacity", "c-libra", "b-libra", "proteus", "cubic", "bbr",
            "orca"});
-  for (int k = 0; k < 35; ++k) {
+  for (int k = 0; k < secs; ++k) {
     std::vector<std::string> row{std::to_string(k),
                                  fmt(trace->average_rate(sec(k), sec(k + 1)) / 1e6, 1)};
     for (auto& ser : series) row.push_back(fmt(ser[static_cast<std::size_t>(k)] / 1e6, 1));
@@ -36,7 +51,7 @@ int main() {
   for (std::size_t i = 0; i < ccas.size(); ++i) {
     double sq = 0, util = 0;
     int n = 0;
-    for (int k = 5; k < 35; ++k) {
+    for (int k = 5; k < secs; ++k) {
       double cap = trace->average_rate(sec(k), sec(k + 1)) / 1e6;
       double thr = series[i][static_cast<std::size_t>(k)] / 1e6;
       sq += (cap - thr) * (cap - thr);
@@ -47,5 +62,17 @@ int main() {
   }
   section("Tracking summary (paper: Libra lowest error at high utilization)");
   err.print();
+
+  // Per-run summary over [warmup, duration) — the same window and ACK stream
+  // a recorded trace holds, so `trace_summarize --warmup=2` on a --record
+  // file reproduces these numbers to within rounding.
+  Table sum({"cca", "throughput (Mbps)", "avg delay (ms)", "loss"});
+  for (std::size_t i = 0; i < ccas.size(); ++i) {
+    sum.add_row({ccas[i], fmt(summaries[i].total_throughput_bps / 1e6, 2),
+                 fmt(summaries[i].avg_delay_ms, 1),
+                 fmt_pct(summaries[i].flows[0].loss_rate, 2)});
+  }
+  section("Run summary over [2s, end)");
+  sum.print();
   return 0;
 }

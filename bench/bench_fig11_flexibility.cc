@@ -84,7 +84,8 @@ void versus_cubic(const std::vector<Scenario>& set, const std::string& label) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   header("Fig. 11", "flexibility across utility-weight variants");
   single_flow(wired_set(), "Wired set");
   single_flow(cellular_set(), "Cellular set");

@@ -3,7 +3,8 @@
 // reduction over Orca / Indigo / Copa / Proteus (up to 92%).
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Fig. 12", "CPU overhead vs link capacity");

@@ -6,7 +6,8 @@
 
 #include "stats/fairness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Fig. 13", "inter-protocol fairness vs CUBIC");

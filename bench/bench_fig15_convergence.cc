@@ -6,7 +6,8 @@
 
 #include "stats/convergence.h"
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Fig. 15 + Tab. 5", "three staggered flows: convergence");

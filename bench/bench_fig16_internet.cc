@@ -8,7 +8,8 @@
 
 #include "core/factory.h"
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Fig. 16", "synthetic-WAN (live-Internet stand-in) performance");

@@ -7,7 +7,8 @@
 
 #include "core/factory.h"
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Fig. 17", "fraction of applied times for x_prev / x_rl / x_cl");

@@ -35,7 +35,8 @@ std::vector<double> utility_series(const Flow& flow, SimDuration bin,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Fig. 18", "utility vs the offline ideal combination (cellular)");

@@ -36,7 +36,8 @@ Avg over_set(const std::vector<Scenario>& set, const CcaFactory& factory) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   header("Fig. 19 + Tab. 7", "parameter sensitivity of C-Libra");
 
   // Fig. 19: stage-duration combinations [k_explore, EI, k_exploit] in RTTs.

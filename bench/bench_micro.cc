@@ -71,6 +71,28 @@ void BM_SimulatedSecondCubic(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedSecondCubic)->Arg(10)->Arg(100);
 
+void BM_SimulatedSecondCubicRecorded(benchmark::State& state) {
+  // Same run with the flight recorder on (black-box ring, no sink): the delta
+  // vs BM_SimulatedSecondCubic is the cost of recording; the disabled path's
+  // zero-cost claim is asserted separately by obs_test.
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    LinkConfig cfg;
+    cfg.capacity = std::make_shared<ConstantTrace>(mbps(static_cast<double>(state.range(0))));
+    cfg.buffer_bytes = 150'000;
+    cfg.propagation_delay = msec(15);
+    Network net(std::move(cfg));
+    net.recorder().enable();
+    net.add_flow(std::make_unique<Cubic>());
+    net.run_until(sec(1));
+    events += net.events().processed();
+    benchmark::DoNotOptimize(net.recorder().recorded());
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedSecondCubicRecorded)->Arg(10)->Arg(100);
+
 // --- Parallel experiment engine: 12-run seed sweep, serial vs run_many ------
 
 Scenario sweep_scenario() {

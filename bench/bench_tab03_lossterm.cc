@@ -7,7 +7,8 @@
 #include "harness/trainer.h"
 #include "learned/rl_cca.h"
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Tab. 3", "reward with vs without the loss term");

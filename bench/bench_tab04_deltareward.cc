@@ -7,7 +7,8 @@
 #include "learned/rl_cca.h"
 #include "stats/fairness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Tab. 4", "absolute reward r vs difference reward delta-r");

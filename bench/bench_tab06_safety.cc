@@ -6,7 +6,8 @@
 
 #include "stats/summary.h"
 
-int main() {
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
   using namespace libra;
   using namespace libra::benchx;
   header("Tab. 6", "link-utilization statistics over 20 trials");

@@ -7,8 +7,10 @@
 // the reproduction target. EXPERIMENTS.md records paper-vs-measured.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "harness/metered.h"
@@ -19,6 +21,59 @@
 #include "harness/zoo.h"
 
 namespace libra::benchx {
+
+/// Options common to the bench binaries. Parsed by parse_args; unknown flags
+/// warn and are ignored so figure scripts stay forward-compatible.
+struct BenchArgs {
+  bool json = false;          // --json[=PATH] or LIBRA_JSON_OUT=PATH
+  std::string json_path;      // empty: JSON document goes to stdout at exit
+  std::string record_prefix;  // --record=PREFIX → stream per-run JSONL traces
+  double duration_s = 0;      // --duration=SECS run-length override (0: default)
+};
+
+/// Enables the JsonReport capture hooks in harness/report.h plus a one-time
+/// atexit finalizer, so every section/table the bench prints is also emitted
+/// as one JSON document (to `path`, or stdout when empty).
+inline void enable_json(const std::string& path) {
+  JsonReport::instance().enable(path);
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit([] { JsonReport::instance().finalize(); });
+  }
+}
+
+/// Honors LIBRA_JSON_OUT=PATH. Called from header(), so every bench binary
+/// supports env-var-driven JSON capture even before flag parsing.
+inline void apply_json_env() {
+  if (const char* env = std::getenv("LIBRA_JSON_OUT"); env && *env) enable_json(env);
+}
+
+/// Parses bench CLI flags (and the LIBRA_JSON_OUT environment variable).
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a == "--json") {
+      args.json = true;
+    } else if (a.rfind("--json=", 0) == 0) {
+      args.json = true;
+      args.json_path = std::string(a.substr(7));
+    } else if (a.rfind("--record=", 0) == 0) {
+      args.record_prefix = std::string(a.substr(9));
+    } else if (a.rfind("--duration=", 0) == 0) {
+      args.duration_s = std::atof(std::string(a.substr(11)).c_str());
+    } else {
+      std::cerr << "warning: unknown flag " << a << " (ignored)\n";
+    }
+  }
+  if (const char* env = std::getenv("LIBRA_JSON_OUT"); env && *env) {
+    args.json = true;
+    args.json_path = env;
+  }
+  if (args.json) enable_json(args.json_path);
+  return args;
+}
 
 /// Process-wide zoo: trains (or loads from ./brains) each RL policy once.
 inline CcaZoo& zoo() {
@@ -49,6 +104,8 @@ inline Averaged average_runs(const Scenario& scenario, const CcaFactory& factory
 }
 
 inline void header(const std::string& id, const std::string& what) {
+  apply_json_env();
+  JsonReport::instance().set_bench(id, what);
   std::cout << "\n########################################################\n"
             << "# " << id << " — " << what << "\n"
             << "########################################################\n";

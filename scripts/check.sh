@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verify plus a ThreadSanitizer pass over the parallel experiment
-# engine. Usage: scripts/check.sh [--tsan-only | --no-tsan]
+# engine and a flight-recorder trace round-trip smoke test.
+# Usage: scripts/check.sh [--tsan-only | --no-tsan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,16 +20,33 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   cmake -B build -S . >/dev/null
   cmake --build build -j "$JOBS"
   (cd build && ctest --output-on-failure -j "$JOBS")
+
+  echo "== trace round-trip: record a run, summarize it offline =="
+  # The recorded per-ACK stream must reproduce the run's own summary; a
+  # truncated or empty trace makes trace_summarize exit non-zero.
+  TRACE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$TRACE_DIR"' EXIT
+  ./build/tools/record_run --out="$TRACE_DIR/smoke.jsonl" --duration=2 \
+    > "$TRACE_DIR/summary.json"
+  SUMMARY="$(./build/tools/trace_summarize --warmup=1 "$TRACE_DIR/smoke.jsonl")"
+  echo "$SUMMARY" | grep -q "rtt p99" || {
+    echo "trace round-trip: missing percentile table" >&2; exit 1; }
+  echo "$SUMMARY" | grep -q "total: throughput" || {
+    echo "trace round-trip: missing totals line" >&2; exit 1; }
+  grep -q '"link_utilization"' "$TRACE_DIR/summary.json" || {
+    echo "trace round-trip: record_run emitted no JSON summary" >&2; exit 1; }
+  echo "trace round-trip: ok"
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
-  echo "== TSan: parallel engine must be race-free =="
+  echo "== TSan: parallel engine + metrics aggregation must be race-free =="
   cmake -B build-tsan -S . -DLIBRA_SANITIZE=thread >/dev/null
   # The determinism/engine tests are the ones that exercise cross-thread
-  # sharing (frozen brains, the pool, run_many); building the whole tree
-  # under TSan is unnecessary for the guarantee and triples the cycle time.
-  cmake --build build-tsan -j "$JOBS" --target parallel_test sim_test util_test
-  (cd build-tsan && ./tests/parallel_test && ./tests/sim_test && ./tests/util_test)
+  # sharing (frozen brains, the pool, run_many, concurrent metrics merges and
+  # logger sinks); building the whole tree under TSan is unnecessary for the
+  # guarantee and triples the cycle time.
+  cmake --build build-tsan -j "$JOBS" --target parallel_test sim_test util_test obs_test
+  (cd build-tsan && ./tests/parallel_test && ./tests/sim_test && ./tests/util_test && ./tests/obs_test)
 fi
 
 echo "check.sh: all green"

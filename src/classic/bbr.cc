@@ -60,6 +60,7 @@ void Bbr::update_min_rtt(SimTime now, SimDuration rtt) {
     mode_ = Mode::kProbeRtt;
     pacing_gain_ = 1.0;
     probe_rtt_done_ = now + params_.probe_rtt_duration;
+    record_mode(now);
   }
 }
 
@@ -78,6 +79,7 @@ void Bbr::enter_probe_bw(SimTime now) {
   cycle_index_ = 2;  // start in a cruise phase, as the kernel does
   cycle_stamp_ = now;
   pacing_gain_ = kProbeBwGains[cycle_index_];
+  record_mode(now);
 }
 
 void Bbr::advance_cycle_phase(SimTime now, std::int64_t bytes_in_flight) {
@@ -115,6 +117,7 @@ void Bbr::on_ack(const AckEvent& ack) {
       if (full_bw_reached_) {
         mode_ = Mode::kDrain;
         pacing_gain_ = params_.drain_gain;
+        record_mode(ack.now);
       } else {
         pacing_gain_ = params_.startup_gain;
       }
@@ -134,6 +137,7 @@ void Bbr::on_ack(const AckEvent& ack) {
         } else {
           mode_ = Mode::kStartup;
           pacing_gain_ = params_.startup_gain;
+          record_mode(ack.now);
         }
       }
       break;
@@ -158,6 +162,7 @@ void Bbr::on_tick(SimTime now) {
     } else {
       mode_ = Mode::kStartup;
       pacing_gain_ = params_.startup_gain;
+      record_mode(now);
     }
   }
 }

@@ -41,6 +41,10 @@ class Bbr final : public CongestionControl {
   int probe_bw_phase() const { return cycle_index_; }
 
  private:
+  /// Trace code 1: mode transition — new mode index and pacing gain.
+  void record_mode(SimTime now) const {
+    record_cca_event(now, 1, static_cast<double>(mode_), pacing_gain_);
+  }
   void enter_probe_bw(SimTime now);
   void advance_cycle_phase(SimTime now, std::int64_t bytes_in_flight);
   void check_full_bandwidth();

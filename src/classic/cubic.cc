@@ -78,6 +78,8 @@ void Cubic::on_loss(const LossEvent& loss) {
     cwnd_ = 2 * params_.mss;
   }
   reset_epoch();
+  // Trace code 1: multiplicative decrease (epoch reset) — new cwnd and W_max.
+  record_cca_event(loss.now, 1, static_cast<double>(cwnd_), w_max_);
 }
 
 }  // namespace libra

@@ -26,6 +26,17 @@ Libra::Libra(LibraParams params, std::unique_ptr<CongestionControl> classic,
   if (!rl_) throw std::invalid_argument("Libra: RL component required");
 }
 
+void Libra::bind_recorder(FlightRecorder* rec, int flow_id) {
+  CongestionControl::bind_recorder(rec, flow_id);
+  if (classic_) classic_->bind_recorder(rec, flow_id);
+  rl_->bind_recorder(rec, flow_id);
+}
+
+void Libra::record_stage(SimTime now) const {
+  if (FlightRecorder* rec = recorder())
+    rec->stage_transition(now, obs_flow(), static_cast<int>(stage_));
+}
+
 SimDuration Libra::rtt_estimate() const { return srtt_ > 0 ? srtt_ : kDefaultRtt; }
 
 SimDuration Libra::ei_for(RateBps candidate_rate) const {
@@ -75,6 +86,7 @@ void Libra::enter_exploration(SimTime now) {
   }
   rl_->external_begin(now, x_prev_);
   w_explore_.emplace(now, now + len, x_prev_);
+  record_stage(now);
 }
 
 void Libra::enter_evaluation(SimTime now) {
@@ -95,6 +107,7 @@ void Libra::enter_evaluation(SimTime now) {
     applied_rate_ = x_rl_;
     w_first_.reset();
     w_second_.emplace(now, now + ei, x_rl_);
+    record_stage(now);
     return;
   }
 
@@ -109,6 +122,7 @@ void Libra::enter_evaluation(SimTime now) {
   stage_end_ = now + ei;
   applied_rate_ = first;
   w_first_.emplace(now, now + ei, first);
+  record_stage(now);
 }
 
 void Libra::enter_exploitation(SimTime now) {
@@ -118,6 +132,7 @@ void Libra::enter_exploitation(SimTime now) {
                                           static_cast<double>(rtt_estimate())));
   stage_end_ = now + len;
   applied_rate_ = x_prev_;
+  record_stage(now);
 }
 
 void Libra::finish_cycle(SimTime now) {
@@ -167,6 +182,11 @@ void Libra::finish_cycle(SimTime now) {
   }
   info.winner = winner;
   if (cycle_observer) cycle_observer(info);
+  if (FlightRecorder* rec = recorder()) {
+    rec->cycle_result(now, obs_flow(), static_cast<int>(winner), info.valid,
+                      info.x_prev, info.x_cl, info.x_rl, info.u_prev,
+                      info.u_cl, info.u_rl);
+  }
 
   switch (winner) {
     case Decision::kPrev: ++decisions_.prev; break;
@@ -216,6 +236,7 @@ void Libra::advance(SimTime now) {
       stage_end_ = now + ei;
       applied_rate_ = second;
       w_second_.emplace(now, now + ei, second);
+      record_stage(now);
       break;
     }
     case Stage::kEvalSecond:

@@ -77,6 +77,10 @@ class Libra final : public CongestionControl {
   void on_loss(const LossEvent& loss) override;
   void on_tick(SimTime now) override;
 
+  /// Propagates the recorder to both candidate CCAs so algorithm-internal
+  /// events (CUBIC epochs, RL actions) land in the same per-run trace.
+  void bind_recorder(FlightRecorder* rec, int flow_id) override;
+
   RateBps pacing_rate() const override;
   std::int64_t cwnd_bytes() const override;
   std::string name() const override { return params_.name; }
@@ -104,6 +108,7 @@ class Libra final : public CongestionControl {
 
  private:
   void advance(SimTime now);
+  void record_stage(SimTime now) const;
   void enter_exploration(SimTime now);
   void enter_evaluation(SimTime now);
   void enter_exploitation(SimTime now);

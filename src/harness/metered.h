@@ -33,6 +33,11 @@ class MeteredCca final : public CongestionControl {
     inner_->on_tick(now);
   }
 
+  void bind_recorder(FlightRecorder* rec, int flow_id) override {
+    CongestionControl::bind_recorder(rec, flow_id);
+    inner_->bind_recorder(rec, flow_id);
+  }
+
   RateBps pacing_rate() const override { return inner_->pacing_rate(); }
   std::int64_t cwnd_bytes() const override { return inner_->cwnd_bytes(); }
   std::string name() const override { return inner_->name(); }

@@ -1,5 +1,7 @@
 #include "harness/parallel.h"
 
+#include <chrono>
+#include <mutex>
 #include <stdexcept>
 
 namespace libra {
@@ -20,21 +22,50 @@ ThreadPool& default_pool() {
 }
 
 std::vector<RunSummary> run_many(const std::vector<RunRequest>& requests,
-                                 ThreadPool& pool) {
+                                 ThreadPool& pool,
+                                 const RunManyOptions& options) {
   for (const RunRequest& req : requests) {
     if (req.flows.empty()) throw std::invalid_argument("run_many: request with no flows");
   }
   std::vector<RunSummary> results(requests.size());
+  std::mutex progress_mu;
+  std::size_t done = 0;
   pool.parallel_for(0, requests.size(), [&](std::size_t i) {
+    if (options.cancel && options.cancel->load(std::memory_order_relaxed)) return;
     const RunRequest& req = requests[i];
-    auto net = run_scenario(req.scenario, req.flows, req.seed);
+    auto t0 = std::chrono::steady_clock::now();
+    auto net = run_scenario(req.scenario, req.flows, req.seed, req.obs);
     results[i] = summarize(*net, req.warmup, req.scenario.duration);
+    if (options.metrics) {
+      // Stamp batch-level series into the (still single-threaded) per-run
+      // registry, then fold everything into the aggregate in one locked merge.
+      double wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      MetricsRegistry& local = net->metrics();
+      local.counter("runs").inc();
+      local
+          .histogram("run_wall_ms",
+                     Histogram::exponential(1.0, 2.0, 20))  // 1 ms .. ~8.7 min
+          .add(wall_ms);
+      options.metrics->merge(local);
+    }
+    if (options.on_progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      ++done;
+      options.on_progress(done, requests.size());
+    }
   });
   return results;
 }
 
+std::vector<RunSummary> run_many(const std::vector<RunRequest>& requests,
+                                 ThreadPool& pool) {
+  return run_many(requests, pool, RunManyOptions{});
+}
+
 std::vector<RunSummary> run_many(const std::vector<RunRequest>& requests) {
-  return run_many(requests, default_pool());
+  return run_many(requests, default_pool(), RunManyOptions{});
 }
 
 AveragedSummary average_runs_parallel(const Scenario& scenario,

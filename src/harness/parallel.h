@@ -13,10 +13,13 @@
 // environment variable, else uses every hardware thread.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <vector>
 
 #include "harness/runner.h"
 #include "harness/scenario.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace libra {
@@ -28,10 +31,29 @@ struct RunRequest {
   std::vector<FlowSpec> flows;
   std::uint64_t seed = 1;
   SimDuration warmup = sec(2);
+  /// Per-run trace/recording switches (off by default). Give each request its
+  /// own trace_path — requests must not share a file.
+  ObsOptions obs;
 
   /// Single-flow convenience, mirroring run_single's signature.
   static RunRequest single(Scenario scenario, CcaFactory factory,
                            std::uint64_t seed, SimDuration warmup = sec(2));
+};
+
+/// Batch-level switches for run_many. All optional; none affect the returned
+/// summaries (determinism guarantee unchanged).
+struct RunManyOptions {
+  /// Fired once per completed run with (done, total), serialized under an
+  /// internal mutex so the callback never runs concurrently with itself.
+  std::function<void(std::size_t done, std::size_t total)> on_progress;
+  /// Cooperative cancellation: when *cancel becomes true, runs that have not
+  /// started are skipped (their result slots keep the default RunSummary,
+  /// recognizable by empty .flows). In-flight runs finish normally.
+  std::atomic<bool>* cancel = nullptr;
+  /// When set, each run's metrics registry — plus a "runs" counter and a
+  /// "run_wall_ms" histogram of per-run wall time — is merged here. merge()
+  /// locks the destination, so workers aggregate safely.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Process-wide pool shared by the batch helpers (created on first use).
@@ -39,6 +61,9 @@ ThreadPool& default_pool();
 
 /// Runs every request on `pool` and returns summaries in submission order.
 /// The first exception thrown by any run is rethrown after the batch drains.
+std::vector<RunSummary> run_many(const std::vector<RunRequest>& requests,
+                                 ThreadPool& pool,
+                                 const RunManyOptions& options);
 std::vector<RunSummary> run_many(const std::vector<RunRequest>& requests,
                                  ThreadPool& pool);
 std::vector<RunSummary> run_many(const std::vector<RunRequest>& requests);

@@ -1,12 +1,23 @@
 // Plain-text table output used by the bench binaries to print the paper's
 // tables and figure series in a uniform, diffable format.
+//
+// Structured output: when JsonReport is enabled (bench --json flag or the
+// LIBRA_JSON_OUT environment variable, see bench/common.h), every section()
+// and Table::print() call is additionally captured and serialized as one
+// JSON document at process exit — benches get machine-readable output with
+// no per-bench changes.
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "obs/json.h"
 
 namespace libra {
 
@@ -20,6 +31,136 @@ inline std::string fmt_pct(double frac, int precision = 1) {
   return fmt(frac * 100.0, precision) + "%";
 }
 
+/// Captures the bench's sections/tables and writes them as one JSON document
+/// at exit. Disabled (and empty) unless enable() ran; all methods are cheap
+/// no-ops while disabled.
+class JsonReport {
+ public:
+  static JsonReport& instance() {
+    static JsonReport report;
+    return report;
+  }
+
+  /// Starts capturing; the document is written when finalize() runs (benches
+  /// register it via std::atexit in benchx::parse_args). Empty `path` means
+  /// stdout.
+  void enable(std::string path) {
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_ = true;
+    path_ = std::move(path);
+  }
+
+  bool enabled() const { return enabled_; }
+
+  void set_bench(const std::string& id, const std::string& what) {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    bench_id_ = id;
+    bench_what_ = what;
+  }
+
+  void begin_section(const std::string& title) {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    sections_.push_back(Section{title, {}});
+  }
+
+  void add_table(const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows) {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sections_.empty()) sections_.push_back(Section{"", {}});
+    sections_.back().tables.push_back(CapturedTable{header, rows});
+  }
+
+  /// Attaches an arbitrary pre-serialized JSON value under `key` at the top
+  /// level (e.g. a metrics registry snapshot). Later calls with the same key
+  /// overwrite.
+  void add_json(const std::string& key, std::string json_value) {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [k, v] : extras_) {
+      if (k == key) {
+        v = std::move(json_value);
+        return;
+      }
+    }
+    extras_.emplace_back(key, std::move(json_value));
+  }
+
+  /// Serializes and writes the document (once; later calls are no-ops).
+  void finalize() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_ || finalized_) return;
+    finalized_ = true;
+    std::string out = render_locked();
+    if (path_.empty()) {
+      std::fwrite(out.data(), 1, out.size(), stdout);
+      std::fwrite("\n", 1, 1, stdout);
+      std::fflush(stdout);
+    } else {
+      std::ofstream file(path_, std::ios::trunc);
+      file << out << "\n";
+    }
+  }
+
+ private:
+  struct CapturedTable {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+  };
+  struct Section {
+    std::string title;
+    std::vector<CapturedTable> tables;
+  };
+
+  std::string render_locked() const {
+    std::string out;
+    JsonWriter w(out);
+    w.begin_object();
+    w.key("bench").value(bench_id_);
+    w.key("what").value(bench_what_);
+    w.key("sections").begin_array();
+    for (const Section& s : sections_) {
+      w.begin_object();
+      w.key("title").value(s.title);
+      w.key("tables").begin_array();
+      for (const CapturedTable& t : s.tables) {
+        w.begin_object();
+        w.key("header").begin_array();
+        for (const std::string& h : t.header) w.value(h);
+        w.end_array();
+        w.key("rows").begin_array();
+        for (const auto& row : t.rows) {
+          w.begin_array();
+          for (const std::string& cell : row) w.value(cell);
+          w.end_array();
+        }
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    // Raw pre-serialized extras (already valid JSON values).
+    for (const auto& [key, json_value] : extras_) {
+      w.key(key);
+      out += json_value;
+    }
+    w.end_object();
+    return out;
+  }
+
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  bool finalized_ = false;
+  std::string path_;
+  std::string bench_id_, bench_what_;
+  std::vector<Section> sections_;
+  std::vector<std::pair<std::string, std::string>> extras_;
+};
+
 class Table {
  public:
   explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
@@ -27,6 +168,7 @@ class Table {
   void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
 
   void print(std::ostream& out = std::cout) const {
+    JsonReport::instance().add_table(header_, rows_);
     std::vector<std::size_t> widths(header_.size(), 0);
     auto widen = [&](const std::vector<std::string>& row) {
       for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
@@ -55,6 +197,7 @@ class Table {
 };
 
 inline void section(const std::string& title, std::ostream& out = std::cout) {
+  JsonReport::instance().begin_section(title);
   out << "\n=== " << title << " ===\n";
 }
 

@@ -2,18 +2,56 @@
 
 #include <stdexcept>
 
+#include "obs/json.h"
+#include "obs/sink.h"
+
 namespace libra {
 
 std::unique_ptr<Network> run_scenario(const Scenario& scenario,
                                       const std::vector<FlowSpec>& flows,
                                       std::uint64_t seed) {
+  return run_scenario(scenario, flows, seed, ObsOptions{});
+}
+
+std::unique_ptr<Network> run_scenario(const Scenario& scenario,
+                                      const std::vector<FlowSpec>& flows,
+                                      std::uint64_t seed, const ObsOptions& obs) {
   if (flows.empty()) throw std::invalid_argument("run_scenario: no flows");
   auto net = std::make_unique<Network>(scenario.link_config(seed));
+  if (obs.record) {
+    net->recorder().enable(obs.ring_capacity);
+    if (!obs.trace_path.empty()) {
+      net->recorder().set_sink(StreamLineSink::open_file(obs.trace_path),
+                               obs.trace_format);
+    }
+  }
   for (const FlowSpec& spec : flows) {
     net->add_flow(spec.make_cca(), spec.start, spec.stop, spec.extra_ack_delay);
   }
   net->run_until(scenario.duration);
+  net->finalize_metrics();
+  net->recorder().flush();  // drain the ring tail to the sink (no-op without one)
   return net;
+}
+
+std::string to_json(const RunSummary& summary) {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("link_utilization").value(summary.link_utilization);
+  w.key("avg_delay_ms").value(summary.avg_delay_ms);
+  w.key("total_throughput_bps").value(summary.total_throughput_bps);
+  w.key("flows").begin_array();
+  for (const FlowSummary& f : summary.flows) {
+    w.begin_object();
+    w.key("throughput_bps").value(f.throughput_bps);
+    w.key("avg_rtt_ms").value(f.avg_rtt_ms);
+    w.key("loss_rate").value(f.loss_rate);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out;
 }
 
 RunSummary summarize(const Network& net, SimTime warmup, SimTime horizon) {

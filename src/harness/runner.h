@@ -4,9 +4,11 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "harness/scenario.h"
+#include "obs/recorder.h"
 #include "sim/network.h"
 
 namespace libra {
@@ -33,11 +35,31 @@ struct RunSummary {
   std::vector<FlowSummary> flows;
 };
 
+/// Serializes a summary as one JSON object (schema in EXPERIMENTS.md).
+std::string to_json(const RunSummary& summary);
+
+/// Per-run observability switches. Defaults are all-off: the recorder stays
+/// disabled and costs one predicted branch per would-be record point.
+struct ObsOptions {
+  bool record = false;  // enable the flight recorder for this run
+  std::size_t ring_capacity = FlightRecorder::kDefaultCapacity;
+  /// When non-empty, the trace streams to this file while recording (the ring
+  /// flushes instead of overwriting), so runs of any length trace completely.
+  std::string trace_path;
+  TraceFormat trace_format = TraceFormat::kJsonl;
+};
+
 /// Builds the network and runs it to `scenario.duration`. The returned
 /// Network owns the flows and all their time series.
 std::unique_ptr<Network> run_scenario(const Scenario& scenario,
                                       const std::vector<FlowSpec>& flows,
                                       std::uint64_t seed);
+
+/// As above, with observability: enables the flight recorder / trace sink per
+/// `obs`, and finalizes the network's metrics registry after the run.
+std::unique_ptr<Network> run_scenario(const Scenario& scenario,
+                                      const std::vector<FlowSpec>& flows,
+                                      std::uint64_t seed, const ObsOptions& obs);
 
 /// Metrics over [warmup, horizon) of an already-run network.
 RunSummary summarize(const Network& net, SimTime warmup, SimTime horizon);

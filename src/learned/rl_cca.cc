@@ -260,6 +260,8 @@ void RlCca::learn_and_act(const MiReport& report) {
     action = brain_->agent.act_greedy(state);
   }
   apply_action(action);
+  // Trace code 1: one MI closed — the applied rate and the reward earned.
+  record_cca_event(report.end, 1, rate_, reward);
 }
 
 }  // namespace libra

@@ -152,10 +152,12 @@ void Vivace::process_mature(SimTime now) {
             phase_ = Phase::kProbeUp;  // nothing left to double into
           } else {
             rate_ = std::min(rate_ * 2.0, params_.max_rate);
+            record_cca_event(now, 2, rate_, u);  // code 2: startup doubling
           }
         } else {
           rate_ = std::max(rate_ / 2.0, params_.min_rate);
           phase_ = Phase::kProbeUp;
+          record_cca_event(now, 3, rate_, u);  // code 3: startup exit (halve)
         }
         break;
       }
@@ -173,6 +175,8 @@ void Vivace::process_mature(SimTime now) {
           double u_up = window_utility(front.window);
           double u_down = window_utility(down.window);
           decide_from_probes(u_up, u_down, rate_ / 1e6);
+          // Code 1: gradient step decided — new rate and confidence streak.
+          record_cca_event(now, 1, rate_, static_cast<double>(confidence_));
         } else {
           phase_ = Phase::kProbeUp;  // retry the probe round
         }

@@ -1,0 +1,128 @@
+// Minimal JSON writer used for structured run output (RunSummary, bench
+// tables, metrics snapshots) and the flight recorder's JSONL traces.
+//
+// Doubles are formatted with std::to_chars (shortest round-trip form), so
+// serialized output is bit-deterministic for deterministic inputs and cheap
+// enough to sit on the trace-flush path.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace libra {
+
+inline void json_escape(std::string_view s, std::string& out) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(ch >> 4) & 0xF];
+          out += hex[ch & 0xF];
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+inline void json_append_number(double v, std::string& out) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    out += "null";
+    return;
+  }
+  char buf[32];
+  auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+inline void json_append_number(std::int64_t v, std::string& out) {
+  char buf[24];
+  auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+inline void json_append_number(std::uint64_t v, std::string& out) {
+  char buf[24];
+  auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+/// Streaming writer with automatic comma placement. Appends to a caller-owned
+/// string; nesting is tracked so value()/key() insert separators correctly.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string& out) : out_(&out) {}
+
+  JsonWriter& begin_object() { open('{'); return *this; }
+  JsonWriter& end_object() { close('}'); return *this; }
+  JsonWriter& begin_array() { open('['); return *this; }
+  JsonWriter& end_array() { close(']'); return *this; }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    *out_ += '"';
+    json_escape(k, *out_);
+    *out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(double v) { sep(); json_append_number(v, *out_); return *this; }
+  JsonWriter& value(std::int64_t v) { sep(); json_append_number(v, *out_); return *this; }
+  JsonWriter& value(std::uint64_t v) { sep(); json_append_number(v, *out_); return *this; }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v) { sep(); *out_ += v ? "true" : "false"; return *this; }
+  JsonWriter& value(std::string_view v) {
+    sep();
+    *out_ += '"';
+    json_escape(v, *out_);
+    *out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+
+ private:
+  void open(char ch) {
+    sep();
+    *out_ += ch;
+    needs_comma_.push_back(false);
+  }
+
+  void close(char ch) {
+    *out_ += ch;
+    if (!needs_comma_.empty()) needs_comma_.pop_back();
+    if (!needs_comma_.empty()) needs_comma_.back() = true;
+  }
+
+  // Separator before a value: nothing after a key, comma between array items.
+  void sep() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    comma();
+    if (!needs_comma_.empty()) needs_comma_.back() = true;
+  }
+
+  void comma() {
+    if (!needs_comma_.empty() && needs_comma_.back()) *out_ += ',';
+    if (!needs_comma_.empty()) needs_comma_.back() = true;
+  }
+
+  std::string* out_;
+  std::vector<bool> needs_comma_;
+  bool pending_value_ = false;
+};
+
+}  // namespace libra

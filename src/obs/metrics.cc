@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace libra {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: no buckets");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1])
+      throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+  }
+}
+
+Histogram Histogram::linear(double lo, double hi, std::size_t buckets) {
+  if (buckets == 0 || hi <= lo) throw std::invalid_argument("Histogram::linear: bad range");
+  std::vector<double> bounds;
+  bounds.reserve(buckets);
+  double width = (hi - lo) / static_cast<double>(buckets);
+  for (std::size_t i = 1; i <= buckets; ++i)
+    bounds.push_back(lo + width * static_cast<double>(i));
+  return Histogram(std::move(bounds));
+}
+
+Histogram Histogram::exponential(double first, double growth, std::size_t buckets) {
+  if (buckets == 0 || first <= 0 || growth <= 1.0)
+    throw std::invalid_argument("Histogram::exponential: bad ladder");
+  std::vector<double> bounds;
+  bounds.reserve(buckets);
+  double b = first;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    bounds.push_back(b);
+    b *= growth;
+  }
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::add(double x) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_)
+    throw std::invalid_argument("Histogram::merge: bucket bounds differ");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  double target = p / 100.0 * static_cast<double>(count_);
+  if (target <= 0) return min_;
+
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::int64_t c = counts_[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      // Bucket i spans (lower, upper]; clamp to the observed range so sparse
+      // edge buckets do not overstate the spread.
+      double lower = i == 0 ? min_ : std::max(bounds_[i - 1], min_);
+      double upper = i < bounds_.size() ? std::min(bounds_[i], max_) : max_;
+      if (upper < lower) upper = lower;
+      double frac = (target - static_cast<double>(cum)) / static_cast<double>(c);
+      return lower + frac * (upper - lower);
+    }
+    cum += c;
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) { return counters_[name]; }
+
+Gauge& MetricsRegistry::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Histogram& prototype) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) it = histograms_.emplace(name, prototype).first;
+  return it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  for (const auto& [name, c] : other.counters_) counters_[name].inc(c.value());
+  for (const auto& [name, g] : other.gauges_) {
+    if (g.empty()) continue;
+    Gauge& mine = gauges_[name];
+    // Re-set min/max/last so the combined gauge covers both ranges.
+    mine.set(g.min());
+    mine.set(g.max());
+    mine.set(g.last());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram(h.bounds())).first;
+    }
+    it->second.merge(h);
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c.value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name).begin_object();
+    w.key("last").value(g.last());
+    w.key("min").value(g.min());
+    w.key("max").value(g.max());
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count());
+    w.key("sum").value(h.sum());
+    w.key("mean").value(h.mean());
+    w.key("min").value(h.min());
+    w.key("max").value(h.max());
+    w.key("p50").value(h.percentile(50));
+    w.key("p90").value(h.percentile(90));
+    w.key("p99").value(h.percentile(99));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return out;
+}
+
+}  // namespace libra

@@ -1,0 +1,132 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// Usage model: every run (one Network) owns a private, single-threaded
+// registry that the simulator fills as (or after) the run executes. Batch
+// drivers aggregate per-run registries into one summary registry with
+// merge(), which is the only cross-thread entry point — run_many workers
+// merge under the aggregate's mutex, so the aggregate is always consistent
+// and the per-run hot path never takes a lock.
+//
+// Histograms use fixed bucket bounds chosen at construction (linear or
+// exponential ladders, or explicit bounds), so merging is element-wise and
+// percentile queries cost O(buckets) with linear interpolation inside the
+// winning bucket.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace libra {
+
+class Counter {
+ public:
+  void inc(std::int64_t delta = 1) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Last-value gauge that also tracks the min/max ever set.
+class Gauge {
+ public:
+  void set(double v) {
+    if (count_ == 0) {
+      min_ = max_ = v;
+    } else {
+      if (v < min_) min_ = v;
+      if (v > max_) max_ = v;
+    }
+    last_ = v;
+    ++count_;
+  }
+
+  bool empty() const { return count_ == 0; }
+  double last() const { return last_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  std::int64_t count() const { return count_; }
+
+ private:
+  double last_ = 0, min_ = 0, max_ = 0;
+  std::int64_t count_ = 0;
+};
+
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly ascending; a final +inf overflow bucket
+  /// is implicit. A value x lands in the first bucket with x <= bound.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// `buckets` equal-width buckets spanning [lo, hi] (plus overflow).
+  static Histogram linear(double lo, double hi, std::size_t buckets);
+  /// Bounds first, first*growth, first*growth^2, ... (`buckets` of them).
+  static Histogram exponential(double first, double growth, std::size_t buckets);
+
+  void add(double x);
+  void merge(const Histogram& other);  // bounds must match exactly
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Estimated p-th percentile (p in [0, 100]), interpolated linearly inside
+  /// the containing bucket and clamped to the observed [min, max]. 0 when
+  /// the histogram is empty.
+  double percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket i counts values in (bounds[i-1], bounds[i]]; the last entry is
+  /// the overflow bucket.
+  const std::vector<std::int64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::int64_t> counts_;  // bounds_.size() + 1 entries
+  std::int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0, max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Named metric accessors; created on first use. References stay valid for
+  /// the registry's lifetime. Single-owner API: not for cross-thread use.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `prototype` supplies the bucket bounds when the histogram is new.
+  Histogram& histogram(const std::string& name, const Histogram& prototype);
+
+  /// Folds `other` (which must be quiescent) into this registry. Thread-safe
+  /// on the destination: concurrent merges from run_many workers serialize on
+  /// an internal mutex. Counters add, gauges combine min/max/count (last
+  /// value comes from the later merge), histograms add bucket-wise.
+  void merge(const MetricsRegistry& other);
+
+  /// Snapshot as a JSON object (counters/gauges/histograms sub-objects).
+  std::string to_json() const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+ private:
+  std::mutex merge_mu_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace libra

@@ -1,0 +1,206 @@
+#include "obs/recorder.h"
+
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace libra {
+
+namespace {
+
+const char* drop_reason_name(double reason) {
+  switch (static_cast<int>(reason)) {
+    case static_cast<int>(DropReason::kOverflow): return "overflow";
+    case static_cast<int>(DropReason::kWire): return "wire";
+    case static_cast<int>(DropReason::kCodel): return "codel";
+    default: return "unknown";
+  }
+}
+
+const char* stage_name(double stage) {
+  switch (static_cast<int>(stage)) {
+    case 0: return "exploration";
+    case 1: return "eval_first";
+    case 2: return "eval_second";
+    case 3: return "exploitation";
+    default: return "unknown";
+  }
+}
+
+const char* winner_name(std::uint64_t packed) {
+  switch (packed & 3u) {
+    case 0: return "prev";
+    case 1: return "classic";
+    case 2: return "rl";
+    default: return "unknown";
+  }
+}
+
+}  // namespace
+
+void FlightRecorder::enable(std::size_t ring_capacity) {
+  if (ring_capacity == 0) throw std::invalid_argument("FlightRecorder: zero capacity");
+  if (ring_.size() != ring_capacity) {
+    ring_.assign(ring_capacity, TraceEvent{});
+    head_ = 0;
+    size_ = 0;
+  }
+  enabled_ = true;
+}
+
+void FlightRecorder::set_sink(std::shared_ptr<LineSink> sink, TraceFormat format) {
+  sink_ = std::move(sink);
+  format_ = format;
+  csv_header_written_ = false;
+}
+
+std::vector<TraceEvent> FlightRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+void FlightRecorder::flush() {
+  if (!sink_) return;
+  if (format_ == TraceFormat::kCsv && !csv_header_written_) {
+    sink_->write_line(csv_header());
+    csv_header_written_ = true;
+  }
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceEvent& ev = ring_[(head_ + i) % ring_.size()];
+    line_.clear();
+    if (format_ == TraceFormat::kJsonl) {
+      append_jsonl(ev, line_);
+    } else {
+      append_csv(ev, line_);
+    }
+    sink_->write_line(line_);
+  }
+  head_ = 0;
+  size_ = 0;
+  sink_->flush();
+}
+
+void FlightRecorder::write_jsonl(std::ostream& out) const {
+  std::string line;
+  for (std::size_t i = 0; i < size_; ++i) {
+    line.clear();
+    append_jsonl(ring_[(head_ + i) % ring_.size()], line);
+    line.push_back('\n');
+    out.write(line.data(), static_cast<std::streamsize>(line.size()));
+  }
+}
+
+void FlightRecorder::write_csv(std::ostream& out) const {
+  out << csv_header() << "\n";
+  std::string line;
+  for (std::size_t i = 0; i < size_; ++i) {
+    line.clear();
+    append_csv(ring_[(head_ + i) % ring_.size()], line);
+    line.push_back('\n');
+    out.write(line.data(), static_cast<std::streamsize>(line.size()));
+  }
+}
+
+const char* FlightRecorder::kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kEnqueue: return "enq";
+    case TraceKind::kDrop: return "drop";
+    case TraceKind::kDeliver: return "deliver";
+    case TraceKind::kSend: return "send";
+    case TraceKind::kAck: return "ack";
+    case TraceKind::kLoss: return "loss";
+    case TraceKind::kRate: return "rate";
+    case TraceKind::kStage: return "stage";
+    case TraceKind::kCycle: return "cycle";
+    case TraceKind::kCca: return "cca";
+  }
+  return "unknown";
+}
+
+const char* FlightRecorder::csv_header() { return "t,ev,flow,seq,a,b,c,d,e,f"; }
+
+void FlightRecorder::append_jsonl(const TraceEvent& ev, std::string& out) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("t").value(to_seconds(ev.t));
+  w.key("ev").value(kind_name(ev.kind));
+  if (ev.flow >= 0) w.key("flow").value(static_cast<std::int64_t>(ev.flow));
+  switch (ev.kind) {
+    case TraceKind::kEnqueue:
+      w.key("seq").value(ev.seq);
+      w.key("bytes").value(ev.a);
+      w.key("qbytes").value(ev.b);
+      w.key("qpkts").value(ev.c);
+      break;
+    case TraceKind::kDrop:
+      w.key("seq").value(ev.seq);
+      w.key("bytes").value(ev.a);
+      w.key("qbytes").value(ev.b);
+      w.key("reason").value(drop_reason_name(ev.c));
+      break;
+    case TraceKind::kDeliver:
+      w.key("seq").value(ev.seq);
+      w.key("bytes").value(ev.a);
+      w.key("qbytes").value(ev.b);
+      break;
+    case TraceKind::kSend:
+      w.key("seq").value(ev.seq);
+      w.key("bytes").value(ev.a);
+      w.key("inflight").value(ev.b);
+      break;
+    case TraceKind::kAck:
+      w.key("seq").value(ev.seq);
+      w.key("rtt_ms").value(ev.a);
+      w.key("bytes").value(ev.b);
+      w.key("rate_bps").value(ev.c);
+      w.key("inflight").value(ev.d);
+      break;
+    case TraceKind::kLoss:
+      w.key("seq").value(ev.seq);
+      w.key("bytes").value(ev.a);
+      w.key("timeout").value(ev.b != 0);
+      break;
+    case TraceKind::kRate:
+      w.key("rate_bps").value(ev.a);
+      w.key("cwnd").value(ev.b);
+      break;
+    case TraceKind::kStage:
+      w.key("stage").value(stage_name(ev.a));
+      break;
+    case TraceKind::kCycle:
+      w.key("winner").value(winner_name(ev.seq));
+      w.key("valid").value((ev.seq & 4u) != 0);
+      w.key("x_prev").value(ev.a);
+      w.key("x_cl").value(ev.b);
+      w.key("x_rl").value(ev.c);
+      w.key("u_prev").value(ev.d);
+      w.key("u_cl").value(ev.e);
+      w.key("u_rl").value(ev.f);
+      break;
+    case TraceKind::kCca:
+      w.key("code").value(ev.seq);
+      w.key("v0").value(ev.a);
+      w.key("v1").value(ev.b);
+      break;
+  }
+  w.end_object();
+}
+
+void FlightRecorder::append_csv(const TraceEvent& ev, std::string& out) {
+  json_append_number(to_seconds(ev.t), out);
+  out += ',';
+  out += kind_name(ev.kind);
+  out += ',';
+  json_append_number(static_cast<std::int64_t>(ev.flow), out);
+  out += ',';
+  json_append_number(ev.seq, out);
+  for (double v : {ev.a, ev.b, ev.c, ev.d, ev.e, ev.f}) {
+    out += ',';
+    json_append_number(v, out);
+  }
+}
+
+}  // namespace libra

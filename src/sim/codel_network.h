@@ -16,6 +16,7 @@ class CodelNetwork {
  public:
   explicit CodelNetwork(CodelConfig config)
       : link_(std::make_unique<CodelQueue>(events_, std::move(config))) {
+    link_->set_recorder(&recorder_);
     link_->set_deliver([this](const Packet& pkt) {
       deliveries_.add(events_.now(), static_cast<double>(pkt.bytes));
       auto idx = static_cast<std::size_t>(pkt.flow_id);
@@ -34,6 +35,7 @@ class CodelNetwork {
     cfg.start_time = start_time;
     auto flow = std::make_unique<Flow>(events_, cfg, std::move(cca));
     flow->sender().set_transmit([this](Packet pkt) { link_->send(std::move(pkt)); });
+    flow->sender().set_recorder(&recorder_);
     flows_.push_back(std::move(flow));
     return id;
   }
@@ -49,6 +51,7 @@ class CodelNetwork {
   Flow& flow(int i) { return *flows_.at(static_cast<std::size_t>(i)); }
   CodelQueue& link() { return *link_; }
   EventQueue& events() { return events_; }
+  FlightRecorder& recorder() { return recorder_; }
 
   double delivered_bytes_in(SimTime t0, SimTime t1) const {
     return deliveries_.sum_in(t0, t1);
@@ -56,6 +59,7 @@ class CodelNetwork {
 
  private:
   EventQueue events_;
+  FlightRecorder recorder_;
   std::unique_ptr<CodelQueue> link_;
   std::vector<std::unique_ptr<Flow>> flows_;
   SimDuration ack_delay_ = msec(15);

@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 
+#include "obs/recorder.h"
 #include "sim/event_queue.h"
 #include "sim/packet.h"
 #include "trace/rate_trace.h"
@@ -46,19 +47,26 @@ class CodelQueue {
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
   void set_drop(DropFn fn) { drop_ = std::move(fn); }
+  void set_recorder(FlightRecorder* rec) { recorder_ = rec; }
 
   void send(Packet pkt) {
     if (config_.stochastic_loss > 0 && rng_.chance(config_.stochastic_loss)) {
+      if (recorder_) recorder_->drop(events_.now(), pkt.flow_id, pkt.seq,
+                                     pkt.bytes, queue_bytes_, DropReason::kWire);
       if (drop_) drop_(pkt);
       return;
     }
     if (queue_bytes_ + pkt.bytes > config_.buffer_bytes) {
+      if (recorder_) recorder_->drop(events_.now(), pkt.flow_id, pkt.seq,
+                                     pkt.bytes, queue_bytes_, DropReason::kOverflow);
       if (drop_) drop_(pkt);
       return;
     }
     pkt.enqueue_time = events_.now();
     queue_bytes_ += pkt.bytes;
     queue_.push_back(pkt);
+    if (recorder_) recorder_->enqueue(pkt.enqueue_time, pkt.flow_id, pkt.seq,
+                                      pkt.bytes, queue_bytes_, queue_.size());
     if (!transmitting_) schedule_dequeue();
   }
 
@@ -89,6 +97,8 @@ class CodelQueue {
       queue_.pop_front();
       queue_bytes_ -= pkt.bytes;
       if (!should_drop(pkt)) {
+        if (recorder_) recorder_->deliver(events_.now(), pkt.flow_id, pkt.seq,
+                                          pkt.bytes, queue_bytes_);
         if (deliver_) {
           events_.schedule_in(config_.propagation_delay,
                               [this, pkt] { deliver_(pkt); });
@@ -96,6 +106,8 @@ class CodelQueue {
         break;
       }
       ++codel_drops_;
+      if (recorder_) recorder_->drop(events_.now(), pkt.flow_id, pkt.seq,
+                                     pkt.bytes, queue_bytes_, DropReason::kCodel);
       if (drop_) drop_(pkt);
     }
     schedule_dequeue();
@@ -150,6 +162,7 @@ class CodelQueue {
   bool transmitting_ = false;
   DeliverFn deliver_;
   DropFn drop_;
+  FlightRecorder* recorder_ = nullptr;
 
   // CoDel state.
   bool dropping_ = false;

@@ -8,6 +8,7 @@
 #include <limits>
 #include <string>
 
+#include "obs/recorder.h"
 #include "util/types.h"
 
 namespace libra {
@@ -69,6 +70,29 @@ class CongestionControl {
   /// Approximate resident memory of the algorithm's state (model parameters
   /// dominate for learned CCAs); feeds the overhead benchmarks.
   virtual std::int64_t memory_bytes() const { return 256; }
+
+  /// Attaches the run's flight recorder (called by the Sender when the flow
+  /// is wired into a network). Algorithms that emit their own trace events
+  /// (Libra stages/cycles, learned decisions) read it via recorder();
+  /// wrappers (Libra, MeteredCca) override to propagate to inner CCAs.
+  virtual void bind_recorder(FlightRecorder* rec, int flow_id) {
+    obs_recorder_ = rec;
+    obs_flow_ = flow_id;
+  }
+
+ protected:
+  FlightRecorder* recorder() const { return obs_recorder_; }
+  int obs_flow() const { return obs_flow_; }
+
+  /// Algorithm-internal trace event (epoch reset, mode switch, RL action...).
+  /// `code` is algorithm-specific; schema documented next to each call site.
+  void record_cca_event(SimTime t, int code, double v0 = 0, double v1 = 0) const {
+    if (obs_recorder_) obs_recorder_->cca_event(t, obs_flow_, code, v0, v1);
+  }
+
+ private:
+  FlightRecorder* obs_recorder_ = nullptr;
+  int obs_flow_ = 0;
 };
 
 }  // namespace libra

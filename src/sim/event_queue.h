@@ -44,6 +44,7 @@ class EventQueue {
     }
     heap_.push_back(Key{t, next_seq_++, slot});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
+    if (heap_.size() > max_pending_) max_pending_ = heap_.size();
   }
 
   void schedule_in(SimDuration d, Callback cb) { schedule_at(now_ + d, std::move(cb)); }
@@ -53,6 +54,9 @@ class EventQueue {
 
   /// Events executed since construction (events/sec telemetry for benches).
   std::uint64_t processed() const { return processed_; }
+
+  /// High-water mark of pending events (event-queue depth telemetry).
+  std::size_t max_pending() const { return max_pending_; }
 
   /// Executes the earliest event; returns false when the queue is empty.
   bool run_next() {
@@ -99,6 +103,7 @@ class EventQueue {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::size_t max_pending_ = 0;
 };
 
 }  // namespace libra

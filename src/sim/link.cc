@@ -21,16 +21,25 @@ void DropTailLink::send(Packet pkt) {
   // Stochastic wire loss models random (non-congestive) drops; it happens
   // before queueing, exactly like Mahimahi's --uplink-loss.
   if (config_.stochastic_loss > 0 && rng_.chance(config_.stochastic_loss)) {
+    ++drops_wire_;
+    if (recorder_) recorder_->drop(events_.now(), pkt.flow_id, pkt.seq, pkt.bytes,
+                                   queue_bytes_, DropReason::kWire);
     if (drop_) drop_(pkt);
     return;
   }
   if (queue_bytes_ + pkt.bytes > config_.buffer_bytes) {
+    ++drops_overflow_;
+    if (recorder_) recorder_->drop(events_.now(), pkt.flow_id, pkt.seq, pkt.bytes,
+                                   queue_bytes_, DropReason::kOverflow);
     if (drop_) drop_(pkt);
     return;
   }
   pkt.enqueue_time = events_.now();
   queue_bytes_ += pkt.bytes;
+  if (queue_bytes_ > max_queue_bytes_) max_queue_bytes_ = queue_bytes_;
   queue_.push_back(pkt);
+  if (recorder_) recorder_->enqueue(pkt.enqueue_time, pkt.flow_id, pkt.seq,
+                                    pkt.bytes, queue_bytes_, queue_.size());
   if (!transmitting_) schedule_dequeue();
 }
 
@@ -55,6 +64,8 @@ void DropTailLink::dequeue_head() {
   queue_.pop_front();
   queue_bytes_ -= pkt.bytes;
   delivered_bytes_ += pkt.bytes;
+  if (recorder_) recorder_->deliver(events_.now(), pkt.flow_id, pkt.seq, pkt.bytes,
+                                    queue_bytes_);
   // Propagation happens after serialization; delivery of this packet and the
   // start of the next transmission are independent events.
   if (deliver_) {

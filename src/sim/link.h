@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 
+#include "obs/recorder.h"
 #include "sim/event_queue.h"
 #include "sim/packet.h"
 #include "trace/rate_trace.h"
@@ -33,6 +34,7 @@ class DropTailLink {
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
   void set_drop(DropFn fn) { drop_ = std::move(fn); }
+  void set_recorder(FlightRecorder* rec) { recorder_ = rec; }
 
   /// Offers a packet to the link; tail-drops if the buffer is full.
   void send(Packet pkt);
@@ -45,6 +47,11 @@ class DropTailLink {
   /// Total bytes that exited the link (for utilization accounting).
   std::int64_t delivered_bytes() const { return delivered_bytes_; }
 
+  // Always-on telemetry (cheap integer updates on the existing paths).
+  std::int64_t drops_overflow() const { return drops_overflow_; }
+  std::int64_t drops_wire() const { return drops_wire_; }
+  std::int64_t max_queue_bytes() const { return max_queue_bytes_; }
+
  private:
   void schedule_dequeue();
   void dequeue_head();
@@ -55,9 +62,13 @@ class DropTailLink {
   FifoRing<Packet> queue_;
   std::int64_t queue_bytes_ = 0;
   std::int64_t delivered_bytes_ = 0;
+  std::int64_t drops_overflow_ = 0;
+  std::int64_t drops_wire_ = 0;
+  std::int64_t max_queue_bytes_ = 0;
   bool transmitting_ = false;
   DeliverFn deliver_;
   DropFn drop_;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace libra

@@ -6,6 +6,7 @@ namespace libra {
 
 Network::Network(LinkConfig link_config) {
   link_ = std::make_unique<DropTailLink>(events_, std::move(link_config));
+  link_->set_recorder(&recorder_);
   link_->set_deliver([this](const Packet& pkt) {
     deliveries_.add(events_.now(), static_cast<double>(pkt.bytes));
     auto idx = static_cast<std::size_t>(pkt.flow_id);
@@ -33,9 +34,39 @@ int Network::add_flow(std::unique_ptr<CongestionControl> cca, SimTime start_time
   cfg.stop_time = stop_time;
   auto flow = std::make_unique<Flow>(events_, cfg, std::move(cca));
   flow->sender().set_transmit([this](Packet pkt) { link_->send(std::move(pkt)); });
+  flow->sender().set_recorder(&recorder_);
   flows_.push_back(std::move(flow));
   ack_delays_.push_back(link_->config().propagation_delay + extra_ack_delay);
   return id;
+}
+
+void Network::finalize_metrics() {
+  if (metrics_finalized_) return;
+  metrics_finalized_ = true;
+  metrics_.counter("sim.events_processed")
+      .inc(static_cast<std::int64_t>(events_.processed()));
+  metrics_.gauge("sim.event_queue_max_pending")
+      .set(static_cast<double>(events_.max_pending()));
+  metrics_.counter("link.drops_overflow").inc(link_->drops_overflow());
+  metrics_.counter("link.drops_wire").inc(link_->drops_wire());
+  metrics_.counter("link.delivered_bytes").inc(link_->delivered_bytes());
+  metrics_.gauge("link.max_queue_bytes")
+      .set(static_cast<double>(link_->max_queue_bytes()));
+  for (const auto& f : flows_) {
+    const Sender& s = f->sender();
+    metrics_.counter("flows").inc();
+    metrics_.counter("flow.packets_sent").inc(s.packets_sent());
+    metrics_.counter("flow.packets_acked").inc(s.packets_acked());
+    metrics_.counter("flow.packets_lost").inc(s.packets_lost());
+    if (s.smoothed_rtt() > 0)
+      metrics_.gauge("flow.srtt_ms").set(to_msec(s.smoothed_rtt()));
+    if (s.min_rtt() > 0)
+      metrics_.gauge("flow.min_rtt_ms").set(to_msec(s.min_rtt()));
+  }
+  metrics_.counter("trace.recorded")
+      .inc(static_cast<std::int64_t>(recorder_.recorded()));
+  metrics_.counter("trace.overwritten")
+      .inc(static_cast<std::int64_t>(recorder_.overwritten()));
 }
 
 void Network::run_until(SimTime t) {

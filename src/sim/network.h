@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "sim/event_queue.h"
 #include "sim/flow.h"
 #include "sim/link.h"
@@ -40,13 +42,32 @@ class Network {
   /// Fraction of the bottleneck capacity actually used over [t0, t1).
   double link_utilization(SimTime t0, SimTime t1) const;
 
+  /// Per-run flight recorder. Disabled (and free) by default; enable it via
+  /// `recorder().enable(...)` before run_until to capture the event trace.
+  /// Every component (link, senders, CCAs) is wired to it at construction.
+  FlightRecorder& recorder() { return recorder_; }
+  const FlightRecorder& recorder() const { return recorder_; }
+
+  /// Per-run metrics registry. Counters/gauges are filled by
+  /// finalize_metrics(); callers may add their own series too.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Snapshots end-of-run simulator state (event-queue depth, link drops,
+  /// per-flow packet counts) into the metrics registry. Idempotent-ish:
+  /// counters are set from absolute totals only once.
+  void finalize_metrics();
+
  private:
   EventQueue events_;
+  FlightRecorder recorder_;
+  MetricsRegistry metrics_;
   std::unique_ptr<DropTailLink> link_;
   std::vector<std::unique_ptr<Flow>> flows_;
   std::vector<SimDuration> ack_delays_;
   TimeSeries deliveries_;  // (arrival time at receiver, bytes)
   bool started_ = false;
+  bool metrics_finalized_ = false;
 };
 
 }  // namespace libra

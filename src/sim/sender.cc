@@ -26,6 +26,20 @@ void Sender::start() {
 void Sender::replace_cca(std::unique_ptr<CongestionControl> cca) {
   if (!cca) throw std::invalid_argument("Sender: null controller");
   cca_ = std::move(cca);
+  if (recorder_) cca_->bind_recorder(recorder_, config_.flow_id);
+}
+
+void Sender::maybe_record_rate() {
+  // One trace record per *change* of the effective control outputs, emitted
+  // after the CCA processed the triggering event — this is the uniform
+  // rate/cwnd instrumentation for every algorithm family.
+  if (!recorder_ || !recorder_->enabled()) return;
+  RateBps rate = cca_->pacing_rate();
+  std::int64_t cwnd = cca_->cwnd_bytes();
+  if (rate == last_recorded_rate_ && cwnd == last_recorded_cwnd_) return;
+  last_recorded_rate_ = rate;
+  last_recorded_cwnd_ = cwnd;
+  recorder_->rate_change(events_.now(), config_.flow_id, rate, cwnd);
 }
 
 RateBps Sender::effective_pacing_rate() const {
@@ -86,6 +100,7 @@ void Sender::transmit_one() {
   SendEvent ev{now, pkt.seq, pkt.bytes, bytes_in_flight_};
   cca_->on_packet_sent(ev);
   if (send_observer) send_observer(ev);
+  if (recorder_) recorder_->send(now, config_.flow_id, pkt.seq, pkt.bytes, bytes_in_flight_);
   if (transmit_) transmit_(pkt);
 }
 
@@ -137,6 +152,11 @@ void Sender::on_ack_packet(const Packet& pkt) {
               bytes_in_flight_, delivery_rate, min_rtt_};
   cca_->on_ack(ev);
   if (ack_observer) ack_observer(ev);
+  if (recorder_) {
+    recorder_->ack(now, config_.flow_id, pkt.seq, rtt, info.bytes, delivery_rate,
+                   bytes_in_flight_);
+    maybe_record_rate();
+  }
 
   detect_packet_threshold_losses();
   maybe_send();
@@ -176,6 +196,10 @@ void Sender::declare_lost(std::uint64_t seq, const Outstanding& info,
                bytes_in_flight_, from_timeout};
   cca_->on_loss(ev);
   if (loss_observer) loss_observer(ev);
+  if (recorder_) {
+    recorder_->loss(ev.now, config_.flow_id, seq, info.bytes, from_timeout);
+    maybe_record_rate();
+  }
 }
 
 void Sender::on_tick() {
@@ -183,6 +207,7 @@ void Sender::on_tick() {
   if (now >= config_.stop_time) return;
   detect_rto_losses();
   cca_->on_tick(now);
+  if (recorder_) maybe_record_rate();
   maybe_send();
   events_.schedule_in(config_.tick_interval, [this] { on_tick(); });
 }

@@ -42,6 +42,14 @@ class Sender {
   /// Wires the sender to the network; must be called before start().
   void set_transmit(TransmitFn fn) { transmit_ = std::move(fn); }
 
+  /// Attaches the run's flight recorder and propagates it to the CCA. The
+  /// recorder guards every record call on its own enabled flag, so wiring it
+  /// unconditionally costs nothing while recording is off.
+  void set_recorder(FlightRecorder* rec) {
+    recorder_ = rec;
+    cca_->bind_recorder(rec, config_.flow_id);
+  }
+
   /// Schedules the first send and the periodic tick at config.start_time.
   void start();
 
@@ -148,6 +156,7 @@ class Sender {
 
   void maybe_send();
   void transmit_one();
+  void maybe_record_rate();
   void on_tick();
   void detect_packet_threshold_losses();
   void detect_rto_losses();
@@ -160,6 +169,9 @@ class Sender {
   SenderConfig config_;
   std::unique_ptr<CongestionControl> cca_;
   TransmitFn transmit_;
+  FlightRecorder* recorder_ = nullptr;
+  RateBps last_recorded_rate_ = -1;
+  std::int64_t last_recorded_cwnd_ = -1;
 
   OutstandingWindow outstanding_;
   std::uint64_t next_seq_ = 0;

@@ -1,11 +1,17 @@
 // Minimal leveled logging. Benches and examples print their own structured
 // output; the logger exists for debugging simulator internals and is silent
 // at the default level.
+//
+// Thread safety: each message is formatted into one buffer and handed to a
+// LineSink, which performs a single synchronized write — concurrent run_many
+// workers can log without interleaving partial lines. The sink and threshold
+// should be configured at startup, before worker threads exist.
 #pragma once
 
-#include <iostream>
-#include <sstream>
+#include <memory>
 #include <string>
+
+#include "obs/sink.h"
 
 namespace libra {
 
@@ -18,10 +24,28 @@ class Logger {
     return level;
   }
 
+  /// Redirects log output (default: the process-wide stderr sink). Passing
+  /// nullptr restores the default. Configure before spawning workers.
+  static void set_sink(std::shared_ptr<LineSink> sink) {
+    sink_ref() = sink ? std::move(sink) : stderr_sink();
+  }
+
   static void log(LogLevel level, const std::string& msg) {
     if (level < threshold()) return;
     static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-    std::cerr << "[" << names[static_cast<int>(level)] << "] " << msg << "\n";
+    std::string line;
+    line.reserve(msg.size() + 8);
+    line += '[';
+    line += names[static_cast<int>(level)];
+    line += "] ";
+    line += msg;
+    sink_ref()->write_line(line);
+  }
+
+ private:
+  static std::shared_ptr<LineSink>& sink_ref() {
+    static std::shared_ptr<LineSink> sink = stderr_sink();
+    return sink;
   }
 };
 

@@ -195,6 +195,91 @@ TEST(AverageRunsParallel, MatchesSerialAveraging) {
   EXPECT_EQ(avg.avg_delay_ms, delay / kRuns);
 }
 
+// --- RunManyOptions: progress, cancellation, metrics ------------------------
+
+std::vector<RunRequest> short_batch(std::size_t n) {
+  Scenario s = wired_scenario(24);
+  s.duration = sec(3);
+  std::vector<RunRequest> reqs;
+  for (std::uint64_t seed = 0; seed < n; ++seed) {
+    reqs.push_back(RunRequest::single(
+        s, [] { return std::make_unique<Cubic>(); }, 100 + seed));
+  }
+  return reqs;
+}
+
+TEST(RunMany, ProgressCallbackCountsEveryRunMonotonically) {
+  std::vector<RunRequest> reqs = short_batch(6);
+  std::vector<std::size_t> seen;  // guarded by the engine's progress mutex
+  RunManyOptions opts;
+  opts.on_progress = [&](std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, reqs.size());
+    seen.push_back(done);
+  };
+  ThreadPool pool(4);
+  std::vector<RunSummary> out = run_many(reqs, pool, opts);
+  EXPECT_EQ(out.size(), reqs.size());
+  ASSERT_EQ(seen.size(), reqs.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i + 1);
+}
+
+TEST(RunMany, PreCancelledBatchSkipsEveryRun) {
+  std::vector<RunRequest> reqs = short_batch(4);
+  std::atomic<bool> cancel{true};
+  std::size_t progress_calls = 0;
+  RunManyOptions opts;
+  opts.cancel = &cancel;
+  opts.on_progress = [&](std::size_t, std::size_t) { ++progress_calls; };
+  ThreadPool pool(2);
+  std::vector<RunSummary> out = run_many(reqs, pool, opts);
+  ASSERT_EQ(out.size(), reqs.size());
+  for (const RunSummary& s : out) {
+    EXPECT_TRUE(s.flows.empty());  // skipped slots keep the default summary
+  }
+  EXPECT_EQ(progress_calls, 0u);
+}
+
+TEST(RunMany, CancelMidBatchStopsLaunchingNewRuns) {
+  std::vector<RunRequest> reqs = short_batch(8);
+  std::atomic<bool> cancel{false};
+  RunManyOptions opts;
+  opts.cancel = &cancel;
+  opts.on_progress = [&](std::size_t done, std::size_t) {
+    if (done >= 2) cancel.store(true);
+  };
+  ThreadPool pool(1);  // serial drain => deterministic cut-off
+  std::vector<RunSummary> out = run_many(reqs, pool, opts);
+  std::size_t completed = 0;
+  for (const RunSummary& s : out) completed += s.flows.empty() ? 0 : 1;
+  EXPECT_GE(completed, 2u);
+  EXPECT_LT(completed, reqs.size());
+}
+
+TEST(RunMany, MetricsAggregateAcrossWorkers) {
+  std::vector<RunRequest> reqs = short_batch(5);
+  // Identical seeds => identical per-run event counts, so the merged total
+  // must be an exact multiple of the batch size.
+  for (RunRequest& r : reqs) r.seed = 100;
+  MetricsRegistry metrics;
+  RunManyOptions opts;
+  opts.metrics = &metrics;
+  ThreadPool pool(4);
+  std::vector<RunSummary> out = run_many(reqs, pool, opts);
+  EXPECT_EQ(out.size(), reqs.size());
+
+  // Every run contributes exactly once to the batch-level aggregates.
+  EXPECT_EQ(metrics.counter("runs").value(),
+            static_cast<std::int64_t>(reqs.size()));
+  EXPECT_EQ(metrics.histogram("run_wall_ms", Histogram::exponential(1.0, 2.0, 20))
+                .count(),
+            static_cast<std::int64_t>(reqs.size()));
+  // Per-run simulator metrics merged in: 5 runs of the same scenario process
+  // the same number of events each, so the sum is a positive multiple of 5.
+  std::int64_t events = metrics.counter("sim.events_processed").value();
+  EXPECT_GT(events, 0);
+  EXPECT_EQ(events % static_cast<std::int64_t>(reqs.size()), 0);
+}
+
 // --- CcaZoo::train_all ------------------------------------------------------
 
 TEST(CcaZoo, TrainAllProducesEveryBrainFamily) {

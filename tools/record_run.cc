@@ -1,0 +1,71 @@
+// record_run: records a short simulator run with the flight recorder
+// streaming JSONL to a file, then prints the run summary as JSON. Uses only
+// classic CCAs (no RL training), so it runs in well under a second — the CI
+// trace round-trip smoke test (scripts/check.sh) pipes its output through
+// trace_summarize.
+//
+//   record_run [--out=trace.jsonl] [--cca=cubic|bbr] [--rate=MBPS]
+//              [--duration=SECS] [--seed=N]
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "classic/bbr.h"
+#include "classic/cubic.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace libra;
+  std::string out_path = "trace.jsonl";
+  std::string cca = "cubic";
+  double rate_mbps = 48;
+  double duration_s = 5;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a.rfind("--out=", 0) == 0) {
+      out_path = std::string(a.substr(6));
+    } else if (a.rfind("--cca=", 0) == 0) {
+      cca = std::string(a.substr(6));
+    } else if (a.rfind("--rate=", 0) == 0) {
+      rate_mbps = std::atof(std::string(a.substr(7)).c_str());
+    } else if (a.rfind("--duration=", 0) == 0) {
+      duration_s = std::atof(std::string(a.substr(11)).c_str());
+    } else if (a.rfind("--seed=", 0) == 0) {
+      seed = static_cast<std::uint64_t>(
+          std::atoll(std::string(a.substr(7)).c_str()));
+    } else {
+      std::cerr << "usage: record_run [--out=trace.jsonl] [--cca=cubic|bbr] "
+                   "[--rate=MBPS] [--duration=SECS] [--seed=N]\n";
+      return 2;
+    }
+  }
+
+  CcaFactory factory;
+  if (cca == "cubic") {
+    factory = [] { return std::make_unique<Cubic>(); };
+  } else if (cca == "bbr") {
+    factory = [] { return std::make_unique<Bbr>(); };
+  } else {
+    std::cerr << "error: unknown --cca=" << cca << " (cubic|bbr)\n";
+    return 2;
+  }
+
+  Scenario s = wired_scenario(rate_mbps);
+  s.duration = seconds(duration_s);
+
+  ObsOptions obs;
+  obs.record = true;
+  obs.trace_path = out_path;
+
+  auto net = run_scenario(s, {{factory}}, seed, obs);
+  RunSummary summary = summarize(*net, sec(1), s.duration);
+
+  std::cerr << "recorded " << net->recorder().recorded() << " events to "
+            << out_path << "\n";
+  std::cout << to_json(summary) << "\n";
+  return 0;
+}

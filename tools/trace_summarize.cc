@@ -1,0 +1,205 @@
+// trace_summarize: reads flight-recorder JSONL traces (see EXPERIMENTS.md for
+// the schema) and prints per-flow throughput/RTT/loss summaries with
+// percentile tables — the offline counterpart of harness/runner.h's
+// summarize(). Run a bench with --record=PREFIX (or tools/record_run), then:
+//
+//   trace_summarize --warmup=2 [--horizon=SECS] trace1.jsonl [trace2.jsonl...]
+//
+// Throughput and delay over [warmup, horizon) reproduce the bench's printed
+// run summary, because both derive from the same per-ACK event stream.
+// Exits non-zero if any input yields no events (truncated/empty trace).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/report.h"
+
+namespace {
+
+// The recorder writes flat one-line objects with no whitespace, so a keyed
+// scan is sufficient — no general JSON parser needed.
+bool find_raw(std::string_view line, std::string_view key, std::string_view& out) {
+  std::string needle = "\"" + std::string(key) + "\":";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string_view::npos) return false;
+  pos += needle.size();
+  std::size_t end = pos;
+  if (end < line.size() && line[end] == '"') {  // string value
+    ++pos;
+    end = line.find('"', pos);
+    if (end == std::string_view::npos) return false;
+    out = line.substr(pos, end - pos);
+    return true;
+  }
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  out = line.substr(pos, end - pos);
+  return true;
+}
+
+bool find_number(std::string_view line, std::string_view key, double& out) {
+  std::string_view raw;
+  if (!find_raw(line, key, raw)) return false;
+  try {
+    out = std::stod(std::string(raw));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+double percentile(std::vector<double>& sorted_values, double p) {
+  if (sorted_values.empty()) return 0;
+  double idx = p / 100.0 * static_cast<double>(sorted_values.size() - 1);
+  auto lo = static_cast<std::size_t>(idx);
+  std::size_t hi = std::min(lo + 1, sorted_values.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted_values[lo] + frac * (sorted_values[hi] - sorted_values[lo]);
+}
+
+struct FlowStats {
+  std::int64_t acks = 0, losses = 0, sends = 0;
+  double acked_bytes = 0;
+  std::vector<double> rtts_ms;
+};
+
+int summarize_file(const std::string& path, double warmup_s, double horizon_s) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open " << path << "\n";
+    return 1;
+  }
+
+  std::map<std::string, std::int64_t> kind_counts;
+  std::map<std::string, std::int64_t> drop_reasons;
+  std::map<int, FlowStats> flows;
+  double max_t = 0;
+  std::int64_t total_events = 0, parse_errors = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    double t = 0;
+    std::string_view ev;
+    if (!find_number(line, "t", t) || !find_raw(line, "ev", ev)) {
+      ++parse_errors;
+      continue;
+    }
+    ++total_events;
+    max_t = std::max(max_t, t);
+    ++kind_counts[std::string(ev)];
+
+    double flow_d = -1;
+    find_number(line, "flow", flow_d);
+    int flow = static_cast<int>(flow_d);
+
+    if (ev == "drop") {
+      std::string_view reason;
+      if (find_raw(line, "reason", reason)) ++drop_reasons[std::string(reason)];
+      continue;
+    }
+    if (t < warmup_s || (horizon_s > 0 && t >= horizon_s)) continue;
+    if (ev == "ack") {
+      FlowStats& f = flows[flow];
+      ++f.acks;
+      double v = 0;
+      if (find_number(line, "bytes", v)) f.acked_bytes += v;
+      if (find_number(line, "rtt_ms", v)) f.rtts_ms.push_back(v);
+    } else if (ev == "loss") {
+      ++flows[flow].losses;
+    } else if (ev == "send") {
+      ++flows[flow].sends;
+    }
+  }
+
+  if (total_events == 0) {
+    std::cerr << "error: " << path << ": no trace events parsed\n";
+    return 1;
+  }
+
+  double horizon = horizon_s > 0 ? horizon_s : max_t;
+  double window = horizon - warmup_s;
+
+  libra::section(path + "  (" + std::to_string(total_events) + " events, window [" +
+                 libra::fmt(warmup_s, 1) + "s, " + libra::fmt(horizon, 1) + "s))");
+
+  libra::Table kinds({"event", "count"});
+  for (const auto& [kind, count] : kind_counts)
+    kinds.add_row({kind, std::to_string(count)});
+  kinds.print();
+
+  if (!drop_reasons.empty()) {
+    libra::Table drops({"drop reason", "count"});
+    for (const auto& [reason, count] : drop_reasons)
+      drops.add_row({reason, std::to_string(count)});
+    std::cout << "\n";
+    drops.print();
+  }
+
+  libra::Table per_flow({"flow", "acks", "throughput (Mbps)", "rtt p50 (ms)",
+                         "rtt p90 (ms)", "rtt p99 (ms)", "rtt mean (ms)",
+                         "loss rate"});
+  double total_thr = 0, rtt_weighted = 0;
+  std::int64_t rtt_samples = 0;
+  for (auto& [flow, f] : flows) {
+    std::sort(f.rtts_ms.begin(), f.rtts_ms.end());
+    double thr = window > 0 ? f.acked_bytes * 8.0 / window / 1e6 : 0;
+    total_thr += thr;
+    double mean = 0;
+    for (double r : f.rtts_ms) mean += r;
+    if (!f.rtts_ms.empty()) mean /= static_cast<double>(f.rtts_ms.size());
+    double denom = static_cast<double>(f.acks + f.losses);
+    double loss_rate = denom > 0 ? static_cast<double>(f.losses) / denom : 0;
+    rtt_weighted += mean * static_cast<double>(f.acks);
+    rtt_samples += f.acks;
+    per_flow.add_row({std::to_string(flow), std::to_string(f.acks),
+                      libra::fmt(thr, 2), libra::fmt(percentile(f.rtts_ms, 50), 1),
+                      libra::fmt(percentile(f.rtts_ms, 90), 1),
+                      libra::fmt(percentile(f.rtts_ms, 99), 1), libra::fmt(mean, 1),
+                      libra::fmt_pct(loss_rate, 2)});
+  }
+  std::cout << "\n";
+  per_flow.print();
+
+  double avg_delay =
+      rtt_samples > 0 ? rtt_weighted / static_cast<double>(rtt_samples) : 0;
+  std::cout << "\ntotal: throughput " << libra::fmt(total_thr, 2) << " Mbps, avg delay "
+            << libra::fmt(avg_delay, 1) << " ms\n";
+  if (parse_errors > 0)
+    std::cerr << "warning: " << parse_errors << " unparseable lines skipped\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double warmup_s = 0, horizon_s = 0;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a.rfind("--warmup=", 0) == 0) {
+      warmup_s = std::atof(std::string(a.substr(9)).c_str());
+    } else if (a.rfind("--horizon=", 0) == 0) {
+      horizon_s = std::atof(std::string(a.substr(10)).c_str());
+    } else if (a.rfind("--", 0) == 0) {
+      std::cerr << "usage: trace_summarize [--warmup=SECS] [--horizon=SECS] "
+                   "TRACE.jsonl...\n";
+      return 2;
+    } else {
+      paths.emplace_back(a);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: trace_summarize [--warmup=SECS] [--horizon=SECS] "
+                 "TRACE.jsonl...\n";
+    return 2;
+  }
+  int rc = 0;
+  for (const std::string& path : paths) rc |= summarize_file(path, warmup_s, horizon_s);
+  return rc;
+}
