@@ -183,6 +183,31 @@ void BM_PpoUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_PpoUpdate);
 
+void BM_PpoUpdateOnly(benchmark::State& state) {
+  // Isolates Ppo::update (the batched training path): the rollout buffer is
+  // refilled with the timer paused, so only the update itself is measured.
+  RlCcaConfig cfg = libra_rl_config();
+  PpoConfig ppo = make_ppo_config(cfg, 3, {64, 64});
+  ppo.collect_only = true;
+  PpoAgent agent(ppo);
+  Rng rng(5);
+  Vector s(ppo.state_dim);
+  for (auto _ : state) {
+    state.PauseTiming();
+    while (agent.buffered_transitions() < ppo.horizon) {
+      for (double& v : s) v = rng.uniform(-1.0, 1.0);
+      agent.give_reward(-std::abs(agent.act(s) - s[0]));
+    }
+    state.ResumeTiming();
+    agent.flush_update(0.0);
+  }
+  // Minibatches per update: epochs * ceil(horizon / minibatch).
+  state.SetItemsProcessed(
+      state.iterations() * ppo.epochs *
+      static_cast<std::int64_t>((ppo.horizon + ppo.minibatch - 1) / ppo.minibatch));
+}
+BENCHMARK(BM_PpoUpdateOnly);
+
 void BM_UtilityEval(benchmark::State& state) {
   UtilityParams p;
   double x = 48.0;

@@ -1,0 +1,95 @@
+// Training-path performance: latency of the batched Ppo::update (per
+// minibatch and per update) and end-to-end training throughput (episodes/s)
+// of serial vs parallel rollout collection. EXPERIMENTS.md records the
+// before/after numbers for the vectorized training path.
+#include "bench/common.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "harness/trainer.h"
+#include "learned/libra_rl.h"
+#include "rl/ppo.h"
+
+namespace {
+
+double wall_seconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  libra::benchx::parse_args(argc, argv);
+  using namespace libra;
+  using namespace libra::benchx;
+  header("bench_train", "PPO training path: update latency + rollout throughput");
+
+  // --- Ppo::update latency (the vectorized batch path in isolation) --------
+  RlCcaConfig cfg = libra_rl_config();
+  PpoConfig ppo = make_ppo_config(cfg, 3, {64, 64});
+  ppo.collect_only = true;  // refills never auto-trigger an update
+  PpoAgent agent(ppo);
+  Rng rng(5);
+  Vector s(ppo.state_dim);
+  auto refill = [&] {
+    while (agent.buffered_transitions() < ppo.horizon) {
+      for (double& v : s) v = rng.uniform(-1.0, 1.0);
+      agent.give_reward(-std::abs(agent.act(s) - s[0]));
+    }
+  };
+  const double minibatches_per_update = static_cast<double>(
+      ppo.epochs * ((ppo.horizon + ppo.minibatch - 1) / ppo.minibatch));
+
+  refill();
+  agent.flush_update(0.0);  // warm-up: workspaces touched, caches hot
+
+  const int kUpdates = 10;
+  double update_s = 0;
+  for (int i = 0; i < kUpdates; ++i) {
+    refill();
+    update_s += wall_seconds([&] { agent.flush_update(0.0); });
+  }
+  const double ms_per_update = 1e3 * update_s / kUpdates;
+  const double us_per_minibatch =
+      1e6 * update_s / kUpdates / minibatches_per_update;
+
+  section("Ppo::update (state_dim=" + std::to_string(ppo.state_dim) +
+          ", hidden 64x64, horizon 512, minibatch 64, 6 epochs)");
+  Table ut({"metric", "value"});
+  ut.add_row({"ms / update", fmt(ms_per_update, 2)});
+  ut.add_row({"us / minibatch", fmt(us_per_minibatch, 1)});
+  ut.add_row({"minibatches / update", fmt(minibatches_per_update, 0)});
+  ut.print();
+
+  // --- Rollout collection throughput (episodes/s) ---------------------------
+  TrainEnvRanges ranges;
+  ranges.capacity_hi_mbps = 100;
+  ranges.episode_length = sec(30);
+  const int kEpisodes = 16, kRound = 4;
+  BrainBoundFactory factory = [](const std::shared_ptr<RlBrain>& b) {
+    return make_libra_rl(b, /*training=*/true);
+  };
+  auto train = [&](ThreadPool& pool) {
+    auto brain = std::make_shared<RlBrain>(make_ppo_config(cfg, 5, {32, 32}),
+                                           feature_frame_size(cfg.features));
+    Trainer trainer(ranges, 77);
+    trainer.train_parallel(factory, brain, kEpisodes, pool, kRound);
+  };
+
+  ThreadPool serial_pool(1);
+  double serial_s = wall_seconds([&] { train(serial_pool); });
+  double parallel_s = wall_seconds([&] { train(default_pool()); });
+
+  section("train_parallel rollout collection (" + std::to_string(kEpisodes) +
+          " episodes, round " + std::to_string(kRound) + ")");
+  Table tt({"mode", "threads", "wall s", "episodes/s"});
+  tt.add_row({"serial", "1", fmt(serial_s, 2), fmt(kEpisodes / serial_s, 2)});
+  tt.add_row({"parallel", std::to_string(default_pool().thread_count()),
+              fmt(parallel_s, 2), fmt(kEpisodes / parallel_s, 2)});
+  tt.print();
+  return 0;
+}

@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus a ThreadSanitizer pass over the parallel experiment
-# engine and a flight-recorder trace round-trip smoke test.
-# Usage: scripts/check.sh [--tsan-only | --no-tsan]
+# Tier-1 verify plus sanitizer passes: ThreadSanitizer over the parallel
+# experiment engine + parallel rollout collection, AddressSanitizer over the
+# batched RL kernels, and a flight-recorder trace round-trip smoke test.
+# Usage: scripts/check.sh [--tsan-only | --asan-only | --no-sanitizers]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 RUN_TIER1=1
 RUN_TSAN=1
+RUN_ASAN=1
 case "${1:-}" in
-  --tsan-only) RUN_TIER1=0 ;;
+  --tsan-only) RUN_TIER1=0; RUN_ASAN=0 ;;
+  --asan-only) RUN_TIER1=0; RUN_TSAN=0 ;;
   --no-tsan) RUN_TSAN=0 ;;
+  --no-sanitizers) RUN_TSAN=0; RUN_ASAN=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only | --no-tsan]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tsan-only | --asan-only | --no-tsan | --no-sanitizers]" >&2; exit 2 ;;
 esac
 
 if [[ "$RUN_TIER1" == 1 ]]; then
@@ -39,14 +43,24 @@ if [[ "$RUN_TIER1" == 1 ]]; then
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
-  echo "== TSan: parallel engine + metrics aggregation must be race-free =="
+  echo "== TSan: parallel engine + rollout collection must be race-free =="
   cmake -B build-tsan -S . -DLIBRA_SANITIZE=thread >/dev/null
   # The determinism/engine tests are the ones that exercise cross-thread
-  # sharing (frozen brains, the pool, run_many, concurrent metrics merges and
-  # logger sinks); building the whole tree under TSan is unnecessary for the
-  # guarantee and triples the cycle time.
-  cmake --build build-tsan -j "$JOBS" --target parallel_test sim_test util_test obs_test
-  (cd build-tsan && ./tests/parallel_test && ./tests/sim_test && ./tests/util_test && ./tests/obs_test)
+  # sharing (frozen brains, the pool, run_many, parallel rollout collection,
+  # concurrent metrics merges and logger sinks); building the whole tree under
+  # TSan is unnecessary for the guarantee and triples the cycle time.
+  cmake --build build-tsan -j "$JOBS" --target parallel_test sim_test util_test obs_test rl_test
+  (cd build-tsan && ./tests/parallel_test && ./tests/sim_test && ./tests/util_test && ./tests/obs_test && ./tests/rl_test)
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo "== ASan: batched RL kernels + training path must be leak/overflow-free =="
+  cmake -B build-asan -S . -DLIBRA_SANITIZE=address >/dev/null
+  # rl_test covers the GEMM kernels, workspaces and the PPO update path;
+  # harness_test drives the trainer end-to-end. alloc_test is excluded: it
+  # replaces global operator new, which conflicts with ASan's interceptors.
+  cmake --build build-asan -j "$JOBS" --target rl_test harness_test
+  (cd build-asan && ./tests/rl_test && ./tests/harness_test)
 fi
 
 echo "check.sh: all green"

@@ -1,6 +1,7 @@
 #include "harness/trainer.h"
 
 #include "core/libra.h"
+#include "harness/parallel.h"
 #include "learned/orca.h"
 #include "learned/rl_cca.h"
 
@@ -14,7 +15,7 @@ std::optional<std::pair<double, int>> episode_reward_of(CongestionControl& cca) 
   return std::nullopt;
 }
 
-EpisodeStats Trainer::run_episode(const CcaFactory& make_cca) {
+Scenario Trainer::sample_env(std::uint64_t& run_seed) {
   Scenario env;
   double cap = rng_.uniform(ranges_.capacity_lo_mbps, ranges_.capacity_hi_mbps);
   env.name = "train";
@@ -26,8 +27,13 @@ EpisodeStats Trainer::run_episode(const CcaFactory& make_cca) {
   env.buffer_bytes = rng_.uniform_int(ranges_.buffer_lo, ranges_.buffer_hi);
   env.stochastic_loss = rng_.uniform(ranges_.loss_lo, ranges_.loss_hi);
   env.duration = ranges_.episode_length;
+  run_seed = static_cast<std::uint64_t>(rng_.uniform_int(1, 1'000'000'000));
+  return env;
+}
 
-  auto net = run_scenario(env, {{make_cca}}, rng_.uniform_int(1, 1'000'000'000));
+EpisodeStats Trainer::run_in_env(const Scenario& env, const CcaFactory& make_cca,
+                                 std::uint64_t run_seed) {
+  auto net = run_scenario(env, {{make_cca}}, run_seed);
 
   EpisodeStats stats;
   RunSummary sum = summarize(*net, 0, env.duration);
@@ -42,10 +48,77 @@ EpisodeStats Trainer::run_episode(const CcaFactory& make_cca) {
   return stats;
 }
 
+EpisodeStats Trainer::run_episode(const CcaFactory& make_cca) {
+  std::uint64_t run_seed = 0;
+  Scenario env = sample_env(run_seed);
+  return run_in_env(env, make_cca, run_seed);
+}
+
 std::vector<EpisodeStats> Trainer::train(const CcaFactory& make_cca, int episodes) {
   std::vector<EpisodeStats> curve;
   curve.reserve(static_cast<std::size_t>(episodes));
   for (int i = 0; i < episodes; ++i) curve.push_back(run_episode(make_cca));
+  return curve;
+}
+
+std::vector<EpisodeStats> Trainer::train_parallel(
+    const BrainBoundFactory& make_cca, const std::shared_ptr<RlBrain>& brain,
+    int episodes, ThreadPool& pool, int round_size) {
+  if (!brain) throw std::invalid_argument("train_parallel: brain required");
+  if (round_size < 1) round_size = 1;
+
+  struct EpisodeJob {
+    Scenario env;
+    std::uint64_t run_seed = 0;
+    std::shared_ptr<RlBrain> collector;
+    EpisodeStats stats;
+    std::vector<PpoTransition> rollout;
+    RunningNormalizer norm_delta{1};
+  };
+
+  std::vector<EpisodeStats> curve;
+  curve.reserve(static_cast<std::size_t>(episodes));
+
+  for (int done = 0; done < episodes; done += round_size) {
+    const int r = std::min(round_size, episodes - done);
+    std::vector<EpisodeJob> jobs(static_cast<std::size_t>(r));
+
+    // Main thread, sequential: draw every stochastic input of the round (env
+    // realizations, run seeds, per-episode agent RNG streams) and snapshot
+    // the current policy into per-episode collector brains. Nothing below
+    // depends on the pool's thread count.
+    for (EpisodeJob& job : jobs) {
+      job.env = sample_env(job.run_seed);
+      PpoConfig cfg = brain->agent.config();
+      cfg.seed = static_cast<std::uint64_t>(rng_.uniform_int(1, 1'000'000'000));
+      cfg.collect_only = true;
+      job.collector =
+          std::make_shared<RlBrain>(std::move(cfg), brain->normalizer.dim());
+      job.collector->agent.copy_parameters_from(brain->agent);
+      job.collector->normalizer = brain->normalizer;
+      job.collector->normalizer.begin_delta_collection();
+    }
+
+    // Fan the round's episodes out; each mutates only its own collector brain
+    // and its own Network, so workers share nothing mutable.
+    parallel_for_chunked(pool, 0, jobs.size(), 1, [&](std::size_t i) {
+      EpisodeJob& job = jobs[i];
+      job.stats = run_in_env(
+          job.env, [&job, &make_cca] { return make_cca(job.collector); },
+          job.run_seed);
+      job.rollout = job.collector->agent.take_transitions(/*mark_final_done=*/true);
+      job.norm_delta = job.collector->normalizer.take_delta();
+    });
+
+    // Ordered reduction on the main thread: the only writes to the master
+    // brain. Episode order is submission order, so the learned weights are
+    // bitwise identical at any thread count.
+    for (EpisodeJob& job : jobs) {
+      brain->normalizer.merge(job.norm_delta);
+      brain->agent.ingest(std::move(job.rollout));
+      curve.push_back(job.stats);
+    }
+  }
   return curve;
 }
 

@@ -4,13 +4,27 @@
 // fresh network — link capacity 10-200 Mbps, min RTT 10-200 ms, buffer
 // 10 KB-5 MB, stochastic loss 0-10% — starts a new flow, and lets the shared
 // PPO brain learn across episodes.
+//
+// Two training modes:
+//  * train(): the seed's serial loop — every episode acts directly on the
+//    shared brain, updating mid-episode whenever the horizon fills.
+//  * train_parallel(): round-based parallel rollout collection. Each round
+//    snapshots the policy into per-episode collector brains (own RNG stream,
+//    frozen-reference normalizer), fans the episodes across a thread pool,
+//    then reduces transitions and normalizer deltas back into the master
+//    brain in episode order. The reduction is the only place the master brain
+//    mutates, so trained weights are bitwise identical at any thread count.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "harness/runner.h"
+#include "learned/rl_cca.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace libra {
 
@@ -31,6 +45,12 @@ struct EpisodeStats {
   double link_utilization = 0;
 };
 
+/// Builds a controller bound to the given brain (training mode on) — the
+/// factory shape parallel rollout collection needs, since each episode runs
+/// against its own collector snapshot of the master brain.
+using BrainBoundFactory =
+    std::function<std::unique_ptr<CongestionControl>(const std::shared_ptr<RlBrain>&)>;
+
 /// Pulls the cumulative episode reward out of a controller if it is one of
 /// the RL types (RlCca, Orca, or a Libra wrapping an RlCca).
 std::optional<std::pair<double, int>> episode_reward_of(CongestionControl& cca);
@@ -44,10 +64,23 @@ class Trainer {
   /// the controller to the brain being trained (training mode on).
   EpisodeStats run_episode(const CcaFactory& make_cca);
 
-  /// Runs `episodes` episodes; returns per-episode stats (learning curve).
+  /// Runs `episodes` episodes serially; returns per-episode stats.
   std::vector<EpisodeStats> train(const CcaFactory& make_cca, int episodes);
 
+  /// Round-based parallel rollout collection into `brain` (see file header).
+  /// `round_size` episodes are collected per policy snapshot; it is a fixed
+  /// algorithm parameter — results depend on it, but NOT on the pool's thread
+  /// count. Episode stats come back in episode order.
+  std::vector<EpisodeStats> train_parallel(const BrainBoundFactory& make_cca,
+                                           const std::shared_ptr<RlBrain>& brain,
+                                           int episodes, ThreadPool& pool,
+                                           int round_size = 8);
+
  private:
+  Scenario sample_env(std::uint64_t& run_seed);
+  EpisodeStats run_in_env(const Scenario& env, const CcaFactory& make_cca,
+                          std::uint64_t run_seed);
+
   TrainEnvRanges ranges_;
   Rng rng_;
 };

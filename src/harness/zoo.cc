@@ -53,42 +53,52 @@ std::vector<std::string> CcaZoo::brain_families() {
 
 void CcaZoo::train_all(ThreadPool& pool) {
   const std::vector<std::string> families = brain_families();
-  pool.parallel_for(0, families.size(),
-                    [&](std::size_t i) { brain(families[i]); });
+  // Chunked so the caller participates: each family's train_parallel nests
+  // rollout fan-out on the same pool without risk of starving it.
+  parallel_for_chunked(pool, 0, families.size(), 1,
+                       [&](std::size_t i) { brain(families[i]); });
 }
 
 void CcaZoo::train_all() { train_all(default_pool()); }
 
 std::shared_ptr<RlBrain> CcaZoo::train_or_load(const std::string& family) {
   std::shared_ptr<RlBrain> brain;
-  CcaFactory train_factory;
+  // Bound factories take the brain as an argument so that train_parallel can
+  // rebind each episode to its per-episode collector snapshot.
+  BrainBoundFactory train_factory;
   const std::vector<std::size_t> hidden{config_.hidden_width, config_.hidden_width};
 
   if (family == "libra-rl") {
     RlCcaConfig cfg = libra_rl_config();
     brain = std::make_shared<RlBrain>(make_ppo_config(cfg, config_.seed, hidden),
                                       feature_frame_size(cfg.features));
-    train_factory = [brain] { return make_libra_rl(brain, /*training=*/true); };
+    train_factory = [](const std::shared_ptr<RlBrain>& b) {
+      return make_libra_rl(b, /*training=*/true);
+    };
   } else if (family == "modified-rl") {
     RlCcaConfig cfg = modified_rl_config();
     brain = std::make_shared<RlBrain>(make_ppo_config(cfg, config_.seed + 1, hidden),
                                       feature_frame_size(cfg.features));
-    train_factory = [brain] { return make_modified_rl(brain, /*training=*/true); };
+    train_factory = [](const std::shared_ptr<RlBrain>& b) {
+      return make_modified_rl(b, /*training=*/true);
+    };
   } else if (family == "aurora") {
     RlCcaConfig cfg = aurora_config();
     brain = std::make_shared<RlBrain>(make_ppo_config(cfg, config_.seed + 2, hidden),
                                       feature_frame_size(cfg.features));
-    train_factory = [brain] { return make_aurora(brain, /*training=*/true); };
+    train_factory = [](const std::shared_ptr<RlBrain>& b) {
+      return make_aurora(b, /*training=*/true);
+    };
   } else if (family == "orca") {
     PpoConfig ppo;
     ppo.state_dim = feature_frame_size(orca_state_space()) * 8;
     ppo.hidden = hidden;
     ppo.seed = config_.seed + 3;
     brain = std::make_shared<RlBrain>(ppo, feature_frame_size(orca_state_space()));
-    train_factory = [brain] {
+    train_factory = [](const std::shared_ptr<RlBrain>& b) {
       OrcaParams p;
       p.training = true;
-      return std::make_unique<Orca>(p, brain);
+      return std::make_unique<Orca>(p, b);
     };
   } else {
     throw std::out_of_range("CcaZoo: unknown brain family " + family);
@@ -100,6 +110,12 @@ std::shared_ptr<RlBrain> CcaZoo::train_or_load(const std::string& family) {
   TrainEnvRanges ranges;
   if (family == "aurora") ranges.loss_hi = 0.05;
 
+  auto train = [&] {
+    Trainer trainer(ranges, config_.seed ^ 0x5EED);
+    trainer.train_parallel(train_factory, brain, config_.train_episodes,
+                           default_pool(), config_.rollout_round);
+  };
+
   if (!config_.brain_dir.empty()) {
     std::filesystem::create_directories(config_.brain_dir);
     std::string path = config_.brain_dir + "/" + family + ".brain";
@@ -108,14 +124,12 @@ std::shared_ptr<RlBrain> CcaZoo::train_or_load(const std::string& family) {
     } catch (const std::exception&) {
       // Stale cache for a changed architecture: retrain below.
     }
-    Trainer trainer(ranges, config_.seed ^ 0x5EED);
-    trainer.train(train_factory, config_.train_episodes);
+    train();
     save_brain(*brain, path);
     return brain;
   }
 
-  Trainer trainer(ranges, config_.seed ^ 0x5EED);
-  trainer.train(train_factory, config_.train_episodes);
+  train();
   return brain;
 }
 

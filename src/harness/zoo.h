@@ -28,6 +28,10 @@ struct ZooConfig {
   /// When false (default) learned CCAs act greedily during experiments, like
   /// the paper's frozen offline-trained models.
   bool experiment_training = false;
+  /// Episodes collected per policy snapshot during training (see
+  /// Trainer::train_parallel). A fixed algorithm parameter: changing it
+  /// changes the trained policy, changing the thread count does not.
+  int rollout_round = 8;
 };
 
 class CcaZoo {

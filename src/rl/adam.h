@@ -1,8 +1,14 @@
 // Adam optimizer bound to an Mlp's accumulated gradients, plus a scalar
 // variant for standalone parameters (the Gaussian policy's log-std).
+//
+// step() is fused over contiguous parameter slabs: moments live in one flat
+// arena per network, and each layer's weights and biases are updated by a
+// single branch-free loop over raw spans — no per-element layout dispatch,
+// no allocation.
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <vector>
 
 #include "rl/mlp.h"
@@ -19,44 +25,48 @@ struct AdamConfig {
 class AdamOptimizer {
  public:
   AdamOptimizer(Mlp& net, AdamConfig config = {}) : net_(net), config_(config) {
-    for (const Mlp::Layer& l : net_.layers()) {
-      m_.emplace_back(l.weights.size() + l.bias.size(), 0.0);
-      v_.emplace_back(l.weights.size() + l.bias.size(), 0.0);
-    }
+    std::size_t total = 0;
+    for (const Mlp::Layer& l : net_.layers()) total += l.weights.size() + l.bias.size();
+    m_.assign(total, 0.0);
+    v_.assign(total, 0.0);
   }
 
   /// Applies one Adam step from the gradients accumulated in the network
   /// (optionally pre-scaled by 1/batch via `grad_scale`), then zeroes them.
   void step(double grad_scale = 1.0) {
     ++t_;
-    double bc1 = 1.0 - std::pow(config_.beta1, t_);
-    double bc2 = 1.0 - std::pow(config_.beta2, t_);
-    for (std::size_t li = 0; li < net_.layers().size(); ++li) {
-      Mlp::Layer& layer = net_.layers()[li];
-      std::size_t wn = layer.weights.size();
-      for (std::size_t i = 0; i < wn + layer.bias.size(); ++i) {
-        double g = (i < wn ? layer.grad_weights.data()[i] : layer.grad_bias[i - wn]) *
-                   grad_scale;
-        double& m = m_[li][i];
-        double& v = v_[li][i];
-        m = config_.beta1 * m + (1.0 - config_.beta1) * g;
-        v = config_.beta2 * v + (1.0 - config_.beta2) * g * g;
-        double update = config_.learning_rate * (m / bc1) /
-                        (std::sqrt(v / bc2) + config_.epsilon);
-        if (i < wn) {
-          layer.weights.data()[i] -= update;
-        } else {
-          layer.bias[i - wn] -= update;
-        }
-      }
+    const double bc1 = 1.0 - std::pow(config_.beta1, t_);
+    const double bc2 = 1.0 - std::pow(config_.beta2, t_);
+    std::size_t off = 0;
+    for (Mlp::Layer& layer : net_.layers()) {
+      update_span(layer.weights.data().data(), layer.grad_weights.data().data(),
+                  layer.weights.size(), off, grad_scale, bc1, bc2);
+      off += layer.weights.size();
+      update_span(layer.bias.data(), layer.grad_bias.data(), layer.bias.size(),
+                  off, grad_scale, bc1, bc2);
+      off += layer.bias.size();
     }
     net_.zero_gradients();
   }
 
  private:
+  void update_span(double* param, const double* grad, std::size_t n,
+                   std::size_t off, double grad_scale, double bc1, double bc2) {
+    double* m = &m_[off];
+    double* v = &v_[off];
+    const double b1 = config_.beta1, b2 = config_.beta2;
+    const double lr = config_.learning_rate, eps = config_.epsilon;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double g = grad[i] * grad_scale;
+      m[i] = b1 * m[i] + (1.0 - b1) * g;
+      v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+      param[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
+    }
+  }
+
   Mlp& net_;
   AdamConfig config_;
-  std::vector<std::vector<double>> m_, v_;
+  std::vector<double> m_, v_;  // one contiguous moment slab per network
   long t_ = 0;
 };
 

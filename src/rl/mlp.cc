@@ -7,6 +7,22 @@
 
 namespace libra {
 
+void MlpWorkspace::configure(const Mlp& net, std::size_t max_batch) {
+  const std::vector<std::size_t>& sizes = net.sizes();
+  acts.resize(sizes.size());
+  deltas.resize(sizes.size() - 1);
+  for (std::size_t i = 0; i < sizes.size(); ++i) acts[i].resize(max_batch, sizes[i]);
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i)
+    deltas[i].resize(max_batch, sizes[i + 1]);
+  input_grad.resize(max_batch, sizes.front());
+}
+
+void MlpWorkspace::set_batch(std::size_t batch) {
+  for (Matrix& m : acts) m.resize(batch, m.cols());
+  for (Matrix& m : deltas) m.resize(batch, m.cols());
+  input_grad.resize(batch, input_grad.cols());
+}
+
 Mlp::Mlp(const std::vector<std::size_t>& sizes, Rng& rng) : sizes_(sizes) {
   if (sizes.size() < 2) throw std::invalid_argument("Mlp: need at least in+out sizes");
   for (std::size_t s : sizes)
@@ -22,23 +38,61 @@ Mlp::Mlp(const std::vector<std::size_t>& sizes, Rng& rng) : sizes_(sizes) {
     for (double& w : layer.weights.data()) w = rng.uniform(-bound, bound);
     layers_.push_back(std::move(layer));
   }
+  ws1_.configure(*this, 1);
+}
+
+void Mlp::forward_batch(MlpWorkspace& ws) const {
+  const std::size_t batch = ws.acts.front().rows();
+  if (ws.acts.front().cols() != sizes_.front())
+    throw std::invalid_argument("Mlp::forward_batch: bad input width");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Matrix& z = ws.acts[i + 1];
+    z.resize(batch, sizes_[i + 1]);
+    // z = acts_i * W^T + b, row-broadcast.
+    gemm_transB(ws.acts[i], layers_[i].weights, z);
+    add_row_broadcast(z, layers_[i].bias);
+    if (i + 1 < layers_.size()) {
+      for (double& v : z.data()) v = std::tanh(v);
+    }
+  }
+}
+
+void Mlp::backward_batch(MlpWorkspace& ws, bool want_input_grad) {
+  const std::size_t batch = ws.acts.front().rows();
+  if (ws.deltas.back().rows() != batch ||
+      ws.deltas.back().cols() != sizes_.back())
+    throw std::logic_error("Mlp::backward_batch: output_grad shape mismatch");
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    Matrix& dz = ws.deltas[i];
+    // For hidden layers the cached activation is tanh(z); d tanh = 1 - a^2.
+    if (i + 1 < layers_.size()) {
+      const Vector& act = ws.acts[i + 1].data();
+      Vector& g = dz.data();
+      for (std::size_t j = 0; j < g.size(); ++j) g[j] *= 1.0 - act[j] * act[j];
+    }
+    // grad_W += dZ^T * acts_i ; grad_b += column sums of dZ.
+    gemm_transA(dz, ws.acts[i], layers_[i].grad_weights, /*accumulate=*/true);
+    add_col_sums(dz, layers_[i].grad_bias);
+    if (i > 0) {
+      // dA_i = dZ_i * W_i, feeding the next (lower) layer's tanh' pass.
+      gemm(dz, layers_[i].weights, ws.deltas[i - 1]);
+    } else if (want_input_grad) {
+      ws.input_grad.resize(batch, sizes_.front());
+      gemm(dz, layers_[i].weights, ws.input_grad);
+    }
+  }
 }
 
 Vector Mlp::forward(const Vector& input) {
   if (input.size() != sizes_.front()) throw std::invalid_argument("Mlp: bad input size");
-  // In-place writes keep the cache's buffers alive across calls: after the
-  // first pass no forward() allocates.
-  activations_.resize(layers_.size() + 1);
-  activations_[0] = input;
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    Vector& z = activations_[i + 1];
-    layers_[i].weights.multiply_into(activations_[i], z);
-    axpy(z, layers_[i].bias, 1.0);
-    if (i + 1 < layers_.size()) {
-      for (double& v : z) v = std::tanh(v);
-    }
-  }
-  return activations_.back();
+  // Batch of one through the member workspace: after construction no
+  // forward() allocates (out1_ grows once).
+  ws1_.set_batch(1);
+  std::copy(input.begin(), input.end(), ws1_.input().data().begin());
+  forward_batch(ws1_);
+  has_forward_ = true;
+  out1_ = ws1_.output().data();
+  return out1_;
 }
 
 void Mlp::evaluate_into(const Vector& input, Vector& out) const {
@@ -74,28 +128,30 @@ Vector Mlp::evaluate(const Vector& input) const {
 }
 
 Vector Mlp::backward(const Vector& grad_output) {
-  if (activations_.size() != layers_.size() + 1)
+  if (!has_forward_)
     throw std::logic_error("Mlp::backward without a cached forward pass");
-  grad_cur_ = grad_output;
-  for (std::size_t i = layers_.size(); i-- > 0;) {
-    // For hidden layers the cached activation is tanh(z); d tanh = 1 - a^2.
-    if (i + 1 < layers_.size()) {
-      const Vector& act = activations_[i + 1];
-      for (std::size_t j = 0; j < grad_cur_.size(); ++j)
-        grad_cur_[j] *= 1.0 - act[j] * act[j];
-    }
-    layers_[i].grad_weights.add_outer(grad_cur_, activations_[i]);
-    axpy(layers_[i].grad_bias, grad_cur_, 1.0);
-    layers_[i].weights.multiply_transposed_into(grad_cur_, grad_next_);
-    std::swap(grad_cur_, grad_next_);
-  }
-  return grad_cur_;
+  if (grad_output.size() != sizes_.back())
+    throw std::invalid_argument("Mlp::backward: bad grad_output size");
+  std::copy(grad_output.begin(), grad_output.end(),
+            ws1_.output_grad().data().begin());
+  backward_batch(ws1_, /*want_input_grad=*/true);
+  in_grad1_ = ws1_.input_grad.data();
+  return in_grad1_;
 }
 
 void Mlp::zero_gradients() {
   for (Layer& l : layers_) {
     l.grad_weights.fill(0.0);
     std::fill(l.grad_bias.begin(), l.grad_bias.end(), 0.0);
+  }
+}
+
+void Mlp::copy_parameters_from(const Mlp& other) {
+  if (other.sizes_ != sizes_)
+    throw std::invalid_argument("Mlp::copy_parameters_from: shape mismatch");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].weights.data() = other.layers_[i].weights.data();
+    layers_[i].bias = other.layers_[i].bias;
   }
 }
 

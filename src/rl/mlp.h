@@ -1,6 +1,12 @@
 // Multi-layer perceptron with tanh hidden activations and a linear output,
 // plus exact reverse-mode gradients — the function approximator behind the
 // PPO actor and critic (the paper uses two hidden layers; width is a knob).
+//
+// The training path is batched: forward_batch/backward_batch process a whole
+// minibatch as one activations matrix per layer, writing into a reusable
+// MlpWorkspace whose arenas are sized once from the layer dims. The per-sample
+// forward()/backward() API is re-expressed on top of the batch path with a
+// batch of one.
 #pragma once
 
 #include <iosfwd>
@@ -10,6 +16,32 @@
 #include "util/rng.h"
 
 namespace libra {
+
+class Mlp;
+
+/// Caller-owned activation + gradient arenas for the batched training path.
+/// configure() allocates every matrix once at the maximum batch size;
+/// set_batch() then reshapes within that capacity, so steady-state training
+/// performs zero heap allocations.
+struct MlpWorkspace {
+  /// acts[0] is the input batch (batch x in); acts[i+1] the post-activation
+  /// output of layer i (batch x width_i).
+  std::vector<Matrix> acts;
+  /// deltas[i] holds dLoss/dZ of layer i during backward (batch x width_i).
+  std::vector<Matrix> deltas;
+  /// dLoss/dInput (batch x in), filled by backward_batch on request.
+  Matrix input_grad;
+
+  void configure(const Mlp& net, std::size_t max_batch);
+  /// Reshapes all arenas to `batch` rows; never allocates once configured
+  /// with max_batch >= batch.
+  void set_batch(std::size_t batch);
+
+  Matrix& input() { return acts.front(); }
+  const Matrix& output() const { return acts.back(); }
+  /// Where the caller writes dLoss/dOutput before backward_batch.
+  Matrix& output_grad() { return deltas.back(); }
+};
 
 class Mlp {
  public:
@@ -37,11 +69,28 @@ class Mlp {
   /// optimizer steps (gradients accumulate across calls, enabling batching).
   Vector backward(const Vector& grad_output);
 
+  /// Batched forward through `ws`: the caller fills ws.input() (batch x in)
+  /// and reads ws.output() (batch x out). Allocation-free once `ws` is
+  /// configured. Iteration order matches running the rows through the
+  /// per-sample path one at a time, so results are bitwise identical.
+  void forward_batch(MlpWorkspace& ws) const;
+
+  /// Batched backward for the pass cached in `ws`: the caller writes
+  /// dLoss/dOutput into ws.output_grad(); parameter gradients accumulate into
+  /// the layers (same contract as backward()). When `want_input_grad` is set,
+  /// dLoss/dInput lands in ws.input_grad.
+  void backward_batch(MlpWorkspace& ws, bool want_input_grad = false);
+
   void zero_gradients();
+
+  /// Copies weights, biases (and nothing else) from a same-shape network —
+  /// the policy-snapshot step of parallel rollout collection.
+  void copy_parameters_from(const Mlp& other);
 
   std::size_t input_size() const { return sizes_.front(); }
   std::size_t output_size() const { return sizes_.back(); }
   std::size_t parameter_count() const;
+  const std::vector<std::size_t>& sizes() const { return sizes_; }
 
   /// Text-format parameter persistence (layer sizes must already match on
   /// load; gradients and caches are not serialized).
@@ -60,12 +109,10 @@ class Mlp {
  private:
   std::vector<std::size_t> sizes_;
   std::vector<Layer> layers_;
-  // Forward cache: activations_[0] is the input; activations_[i+1] is the
-  // post-activation output of layer i. Buffers are reused across calls.
-  std::vector<Vector> activations_;
-  // Backward scratch (training is single-threaded per model, so members are
-  // fine here; inference scratch is thread-local instead).
-  Vector grad_cur_, grad_next_;
+  // Batch-of-one workspace backing the per-sample forward()/backward() API.
+  MlpWorkspace ws1_;
+  Vector out1_, in_grad1_;  // per-sample return buffers (reused across calls)
+  bool has_forward_ = false;
 };
 
 }  // namespace libra

@@ -31,18 +31,72 @@ class RunningNormalizer {
     }
   }
 
-  /// (x - mean) / std, clipped to [-clip, clip] for stability.
+  /// (x - mean) / std, clipped to [-clip, clip] for stability. In delta-
+  /// collection mode the statistics frozen by begin_delta_collection() are
+  /// used, so concurrent episodes normalize identically regardless of what
+  /// they accumulate locally.
   Vector normalize(const Vector& sample, double clip = 10.0) const {
     if (sample.size() != mean_.size())
       throw std::invalid_argument("RunningNormalizer: dim mismatch");
+    const Vector& mean = delta_mode_ ? ref_mean_ : mean_;
+    const Vector& m2 = delta_mode_ ? ref_m2_ : m2_;
+    const std::size_t n = delta_mode_ ? ref_n_ : n_;
     Vector out(sample.size());
     for (std::size_t i = 0; i < sample.size(); ++i) {
-      double var = n_ > 1 ? m2_[i] / static_cast<double>(n_ - 1) : 1.0;
+      double var = n > 1 ? m2[i] / static_cast<double>(n - 1) : 1.0;
       double sd = std::sqrt(var);
-      double z = sd > 1e-9 ? (sample[i] - mean_[i]) / sd : 0.0;
+      double z = sd > 1e-9 ? (sample[i] - mean[i]) / sd : 0.0;
       out[i] = std::clamp(z, -clip, clip);
     }
     return out;
+  }
+
+  /// Enters rollout-collection mode: the current statistics become a frozen
+  /// reference for normalize(), while update() starts accumulating into a
+  /// fresh delta. take_delta() hands that delta back for ordered merging into
+  /// the master normalizer (parallel rollout collection).
+  void begin_delta_collection() {
+    ref_mean_ = mean_;
+    ref_m2_ = m2_;
+    ref_n_ = n_;
+    std::fill(mean_.begin(), mean_.end(), 0.0);
+    std::fill(m2_.begin(), m2_.end(), 0.0);
+    n_ = 0;
+    delta_mode_ = true;
+  }
+
+  /// The statistics accumulated since begin_delta_collection(), as a
+  /// standalone normalizer suitable for merge().
+  RunningNormalizer take_delta() const {
+    RunningNormalizer d(mean_.size());
+    d.mean_ = mean_;
+    d.m2_ = m2_;
+    d.n_ = n_;
+    return d;
+  }
+
+  /// Parallel Welford combine (Chan et al.): merges `other`'s accumulated
+  /// statistics into this one. Deterministic: merging episode deltas in
+  /// episode order yields the same state at any thread count.
+  void merge(const RunningNormalizer& other) {
+    if (other.dim() != dim())
+      throw std::invalid_argument("RunningNormalizer::merge: dim mismatch");
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      mean_ = other.mean_;
+      m2_ = other.m2_;
+      n_ = other.n_;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double nab = na + nb;
+    for (std::size_t i = 0; i < mean_.size(); ++i) {
+      double delta = other.mean_[i] - mean_[i];
+      mean_[i] += delta * nb / nab;
+      m2_[i] += other.m2_[i] + delta * delta * na * nb / nab;
+    }
+    n_ += other.n_;
   }
 
   std::size_t count() const { return n_; }
@@ -65,6 +119,11 @@ class RunningNormalizer {
  private:
   Vector mean_, m2_;
   std::size_t n_ = 0;
+  // Delta-collection mode (parallel rollout collection): frozen reference
+  // stats for normalize() while mean_/m2_/n_ accumulate the episode's delta.
+  bool delta_mode_ = false;
+  Vector ref_mean_, ref_m2_;
+  std::size_t ref_n_ = 0;
 };
 
 }  // namespace libra

@@ -16,6 +16,7 @@ constexpr double kHalfLog2Pi = 0.9189385332046727;  // 0.5*ln(2*pi)
 PpoAgent::PpoAgent(PpoConfig config)
     : config_(std::move(config)), rng_(config_.seed), log_std_(config_.init_log_std) {
   if (config_.state_dim == 0) throw std::invalid_argument("PpoAgent: state_dim required");
+  if (config_.minibatch == 0) throw std::invalid_argument("PpoAgent: minibatch required");
   std::vector<std::size_t> actor_sizes{config_.state_dim};
   actor_sizes.insert(actor_sizes.end(), config_.hidden.begin(), config_.hidden.end());
   actor_sizes.push_back(1);
@@ -25,7 +26,19 @@ PpoAgent::PpoAgent(PpoConfig config)
   critic_ = std::make_unique<Mlp>(critic_sizes, rng_);
   actor_opt_ = std::make_unique<AdamOptimizer>(*actor_, AdamConfig{.learning_rate = config_.actor_lr});
   critic_opt_ = std::make_unique<AdamOptimizer>(*critic_, AdamConfig{.learning_rate = config_.critic_lr});
-  buffer_.reserve(config_.horizon);
+  buffer_.reserve(config_.horizon + 1);
+
+  // Size every update() workspace up front: all dims are known here, so the
+  // training loop never allocates (see the alloc-counting test).
+  actor_ws_.configure(*actor_, config_.minibatch);
+  critic_ws_.configure(*critic_, config_.minibatch);
+  advantages_.reserve(config_.horizon + 1);
+  returns_.reserve(config_.horizon + 1);
+  order_.reserve(config_.horizon + 1);
+  mb_action_.resize(config_.minibatch);
+  mb_old_logp_.resize(config_.minibatch);
+  mb_adv_.resize(config_.minibatch);
+  mb_ret_.resize(config_.minibatch);
 }
 
 double PpoAgent::exploration_stddev() const { return std::exp(log_std_); }
@@ -41,12 +54,12 @@ double PpoAgent::act(const Vector& state) {
     throw std::invalid_argument("PpoAgent::act: state dim mismatch");
 
   double value = critic_->evaluate1(state);
-  if (buffer_.size() >= config_.horizon) update(value);
+  if (!config_.collect_only && buffer_.size() >= config_.horizon) update(value);
 
   double mean = actor_->evaluate1(state);
   double action = mean + std::exp(log_std_) * rng_.normal();
 
-  Transition t;
+  PpoTransition t;
   t.state = state;
   t.action = action;
   t.log_prob = log_prob(action, mean);
@@ -75,72 +88,124 @@ void PpoAgent::give_reward(double reward, bool done) {
   pending_.reset();
 }
 
+void PpoAgent::copy_parameters_from(const PpoAgent& other) {
+  actor_->copy_parameters_from(*other.actor_);
+  critic_->copy_parameters_from(*other.critic_);
+  log_std_ = other.log_std_;
+}
+
+std::vector<PpoTransition> PpoAgent::take_transitions(bool mark_final_done) {
+  pending_.reset();
+  if (mark_final_done && !buffer_.empty()) buffer_.back().done = true;
+  std::vector<PpoTransition> out = std::move(buffer_);
+  buffer_.clear();
+  buffer_.reserve(config_.horizon + 1);
+  return out;
+}
+
+void PpoAgent::ingest(std::vector<PpoTransition> batch) {
+  for (PpoTransition& t : batch) {
+    // Bootstrap from the incoming transition's recorded value: V(s_next) under
+    // the policy that collected it — the ordered-replay analogue of act()'s
+    // "update before acting on the state that overflows the horizon".
+    if (buffer_.size() >= config_.horizon) update(t.value);
+    buffer_.push_back(std::move(t));
+  }
+}
+
+void PpoAgent::flush_update(double bootstrap_value) { update(bootstrap_value); }
+
 void PpoAgent::update(double bootstrap_value) {
   const std::size_t n = buffer_.size();
   if (n == 0) return;
 
-  // GAE-lambda advantages computed backward through the rollout.
-  Vector advantages(n, 0.0), returns(n, 0.0);
+  // GAE-lambda advantages computed backward through the rollout. The vectors
+  // live in reserved capacity (<= horizon), so no allocation.
+  advantages_.resize(n);
+  returns_.resize(n);
   double next_value = bootstrap_value;
   double gae = 0.0;
   for (std::size_t i = n; i-- > 0;) {
-    const Transition& t = buffer_[i];
+    const PpoTransition& t = buffer_[i];
     double not_done = t.done ? 0.0 : 1.0;
     double delta = t.reward + config_.gamma * next_value * not_done - t.value;
     gae = delta + config_.gamma * config_.gae_lambda * not_done * gae;
-    advantages[i] = gae;
-    returns[i] = gae + t.value;
+    advantages_[i] = gae;
+    returns_[i] = gae + t.value;
     next_value = t.value;
   }
 
   // Normalize advantages for stable step sizes.
-  double mean = std::accumulate(advantages.begin(), advantages.end(), 0.0) /
+  double mean = std::accumulate(advantages_.begin(), advantages_.end(), 0.0) /
                 static_cast<double>(n);
   double var = 0.0;
-  for (double a : advantages) var += (a - mean) * (a - mean);
+  for (double a : advantages_) var += (a - mean) * (a - mean);
   double sd = std::sqrt(var / static_cast<double>(n)) + 1e-8;
-  for (double& a : advantages) a = (a - mean) / sd;
+  for (double& a : advantages_) a = (a - mean) / sd;
 
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
 
+  const std::size_t dim = config_.state_dim;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    std::shuffle(order.begin(), order.end(), rng_.engine());
+    std::shuffle(order_.begin(), order_.end(), rng_.engine());
     for (std::size_t start = 0; start < n; start += config_.minibatch) {
-      std::size_t end = std::min(start + config_.minibatch, n);
-      double batch = static_cast<double>(end - start);
+      const std::size_t end = std::min(start + config_.minibatch, n);
+      const std::size_t b = end - start;
+      const double batch = static_cast<double>(b);
+      const double sd_now = std::exp(log_std_);
       double log_std_grad = 0.0;
-      double sd_now = std::exp(log_std_);
 
+      // Assemble the minibatch: states as one (b x dim) matrix shared by the
+      // actor and critic passes, scalars into flat arrays.
+      actor_ws_.set_batch(b);
+      critic_ws_.set_batch(b);
+      Vector& states = actor_ws_.input().data();
       for (std::size_t k = start; k < end; ++k) {
-        const Transition& t = buffer_[order[k]];
-        double adv = advantages[order[k]];
-        double ret = returns[order[k]];
+        const PpoTransition& t = buffer_[order_[k]];
+        const std::size_t row = k - start;
+        std::copy(t.state.begin(), t.state.end(), states.begin() +
+                  static_cast<std::ptrdiff_t>(row * dim));
+        mb_action_[row] = t.action;
+        mb_old_logp_[row] = t.log_prob;
+        mb_adv_[row] = advantages_[order_[k]];
+        mb_ret_[row] = returns_[order_[k]];
+      }
+      critic_ws_.input().data() = states;  // same capacity: plain copy, no alloc
 
-        // Actor: clipped surrogate. Gradient flows only when the unclipped
-        // ratio is the active branch.
-        double mu = actor_->forward(t.state)[0];
-        double logp = log_prob(t.action, mu);
-        double ratio = std::exp(logp - t.log_prob);
+      // Actor: clipped surrogate over the whole minibatch. Gradient flows
+      // only for rows where the unclipped ratio is the active branch.
+      actor_->forward_batch(actor_ws_);
+      const Vector& mu = actor_ws_.output().data();  // (b x 1)
+      Vector& dmu = actor_ws_.output_grad().data();
+      for (std::size_t row = 0; row < b; ++row) {
+        double adv = mb_adv_[row];
+        double logp = log_prob(mb_action_[row], mu[row]);
+        double ratio = std::exp(logp - mb_old_logp_[row]);
         double clipped = std::clamp(ratio, 1.0 - config_.clip_ratio,
                                     1.0 + config_.clip_ratio);
         bool unclipped_active = ratio * adv <= clipped * adv + 1e-12;
         if (unclipped_active) {
           // dL/dlogp = -adv * ratio ; dlogp/dmu = (a - mu)/sd^2
           double dl_dlogp = -adv * ratio;
-          double dlogp_dmu = (t.action - mu) / (sd_now * sd_now);
-          actor_->backward({dl_dlogp * dlogp_dmu});
+          dmu[row] = dl_dlogp * (mb_action_[row] - mu[row]) / (sd_now * sd_now);
           // dlogp/dlog_std = z^2 - 1
-          double z = (t.action - mu) / sd_now;
+          double z = (mb_action_[row] - mu[row]) / sd_now;
           log_std_grad += dl_dlogp * (z * z - 1.0);
+        } else {
+          dmu[row] = 0.0;
         }
         // Entropy bonus: H = log_std + const; loss -= coef*H.
         log_std_grad -= config_.entropy_coef;
-
-        // Critic: 0.5*(V - ret)^2.
-        double v = critic_->forward(t.state)[0];
-        critic_->backward({v - ret});
       }
+      actor_->backward_batch(actor_ws_);
+
+      // Critic: 0.5*(V - ret)^2 over the same minibatch.
+      critic_->forward_batch(critic_ws_);
+      const Vector& v = critic_ws_.output().data();
+      Vector& dv = critic_ws_.output_grad().data();
+      for (std::size_t row = 0; row < b; ++row) dv[row] = v[row] - mb_ret_[row];
+      critic_->backward_batch(critic_ws_);
 
       actor_opt_->step(1.0 / batch);
       critic_opt_->step(1.0 / batch);

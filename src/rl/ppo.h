@@ -2,10 +2,16 @@
 // continuous 1-D action — the learning algorithm behind Libra's RL component
 // (Alg. 2) and the Aurora/Orca baselines. Actor and critic are independent
 // MLPs; the Gaussian policy's log-std is a standalone learned parameter.
+//
+// The update path is batched and allocation-free: minibatch state/advantage/
+// old-logp matrices are assembled once per epoch slice into workspaces sized
+// at construction, and the batched MLP kernels plus slab-fused Adam do the
+// rest. Rollout collection can be decoupled from learning (collect_only +
+// take_transitions/ingest), which is what lets the trainer fan episodes out
+// across threads and reduce them back deterministically.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -33,6 +39,22 @@ struct PpoConfig {
   double min_log_std = -3.0;
   double max_log_std = 0.7;
   std::uint64_t seed = 7;
+  /// Rollout-collection mode: act() records transitions but never triggers a
+  /// policy update. Collector agents (one per parallel episode) run with this
+  /// set; the master agent ingests their transitions in episode order.
+  bool collect_only = false;
+};
+
+/// One recorded (state, action, outcome) step of a rollout. Public so that
+/// parallel rollout collection can move batches of these between collector
+/// agents and the learning master.
+struct PpoTransition {
+  Vector state;
+  double action = 0.0;
+  double log_prob = 0.0;
+  double value = 0.0;
+  double reward = 0.0;
+  bool done = false;
 };
 
 class PpoAgent {
@@ -41,7 +63,7 @@ class PpoAgent {
 
   /// Samples an action for `state`, recording the transition context. May run
   /// a policy update first if the rollout buffer is full (bootstrapping from
-  /// this state's value).
+  /// this state's value) — unless configured collect_only.
   double act(const Vector& state);
 
   /// Returns the policy mean without sampling or recording (inference mode).
@@ -55,6 +77,26 @@ class PpoAgent {
   /// Completes the transition opened by the last act(). `done` marks an
   /// episode boundary (GAE does not bootstrap across it).
   void give_reward(double reward, bool done = false);
+
+  /// Copies actor/critic parameters and log-std from a same-architecture
+  /// agent (optimizer state, RNG and buffered rollouts are untouched). The
+  /// policy-snapshot step when cloning collector agents.
+  void copy_parameters_from(const PpoAgent& other);
+
+  /// Drains the rollout buffer (dropping any half-open transition). When
+  /// `mark_final_done` is set, the last transition is flagged as an episode
+  /// boundary so GAE will not bootstrap across the splice point.
+  std::vector<PpoTransition> take_transitions(bool mark_final_done = true);
+
+  /// Appends collected transitions to the rollout buffer in order, running a
+  /// policy update whenever the buffer reaches the horizon (bootstrapping
+  /// from the incoming transition's recorded value). Ordered ingestion is
+  /// what makes parallel rollout collection bitwise thread-count invariant.
+  void ingest(std::vector<PpoTransition> batch);
+
+  /// Forces a policy update on whatever the buffer holds (test/bench hook:
+  /// lets callers time or allocation-check update() in isolation).
+  void flush_update(double bootstrap_value);
 
   int update_count() const { return updates_; }
   double exploration_stddev() const;
@@ -70,15 +112,6 @@ class PpoAgent {
   void load(std::istream& in);
 
  private:
-  struct Transition {
-    Vector state;
-    double action = 0.0;
-    double log_prob = 0.0;
-    double value = 0.0;
-    double reward = 0.0;
-    bool done = false;
-  };
-
   void update(double bootstrap_value);
   double log_prob(double action, double mean) const;
 
@@ -91,9 +124,17 @@ class PpoAgent {
   double log_std_;
   ScalarAdam log_std_opt_;
 
-  std::vector<Transition> buffer_;
-  std::optional<Transition> pending_;
+  std::vector<PpoTransition> buffer_;
+  std::optional<PpoTransition> pending_;
   int updates_ = 0;
+
+  // Preallocated update() workspaces: sized at construction from (horizon,
+  // minibatch, state_dim, hidden), so update() allocates nothing per
+  // minibatch. See the alloc-counting test.
+  MlpWorkspace actor_ws_, critic_ws_;
+  Vector advantages_, returns_;
+  std::vector<std::size_t> order_;
+  Vector mb_action_, mb_old_logp_, mb_adv_, mb_ret_;
 };
 
 }  // namespace libra

@@ -1,0 +1,73 @@
+// Allocation audit for the PPO training path: after the first (warm-up)
+// update, Ppo::update must perform zero heap allocations — every workspace is
+// sized at construction. Lives in its own binary because it replaces the
+// global operator new with a counting wrapper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+
+#include "rl/ppo.h"
+#include "util/rng.h"
+
+namespace {
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace libra {
+namespace {
+
+void fill_buffer(PpoAgent& agent, Rng& rng) {
+  const PpoConfig& cfg = agent.config();
+  Vector state(cfg.state_dim);
+  while (agent.buffered_transitions() < cfg.horizon) {
+    for (double& v : state) v = rng.uniform(-1.0, 1.0);
+    double a = agent.act(state);
+    agent.give_reward(-std::abs(a - state[0]));
+  }
+}
+
+TEST(PpoAllocation, UpdateIsAllocationFreeAfterWarmup) {
+  PpoConfig cfg;
+  cfg.state_dim = 8;
+  cfg.hidden = {32, 32};
+  cfg.horizon = 256;
+  cfg.minibatch = 64;
+  cfg.seed = 3;
+  cfg.collect_only = true;  // fill without auto-triggered updates
+  PpoAgent agent(cfg);
+  Rng rng(4);
+
+  fill_buffer(agent, rng);
+  agent.flush_update(0.0);  // warm-up
+  ASSERT_EQ(agent.update_count(), 1);
+
+  fill_buffer(agent, rng);
+  g_allocations.store(0);
+  g_counting.store(true);
+  agent.flush_update(0.0);
+  g_counting.store(false);
+
+  EXPECT_EQ(agent.update_count(), 2);
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "Ppo::update allocated after warm-up; a workspace is being resized "
+         "past its reserved capacity";
+}
+
+}  // namespace
+}  // namespace libra

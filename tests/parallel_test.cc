@@ -12,7 +12,9 @@
 #include "core/factory.h"
 #include "harness/parallel.h"
 #include "harness/scenario.h"
+#include "harness/trainer.h"
 #include "harness/zoo.h"
+#include "learned/libra_rl.h"
 #include "util/thread_pool.h"
 
 namespace libra {
@@ -72,6 +74,59 @@ TEST(ThreadPool, ManyTasksOnFewThreads) {
   }
   for (auto& f : futs) f.get();
   EXPECT_EQ(sum.load(), 200L * 201 / 2);
+}
+
+// --- parallel_for_chunked ---------------------------------------------------
+
+TEST(ParallelForChunked, CoversRangeExactlyOnceWithUnevenChunks) {
+  ThreadPool pool(4);
+  constexpr std::size_t kBegin = 5, kEnd = 108;  // 103 indices, chunk 8
+  std::vector<std::atomic<int>> hits(kEnd);
+  parallel_for_chunked(pool, kBegin, kEnd, 8,
+                       [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kBegin; ++i) EXPECT_EQ(hits[i].load(), 0) << i;
+  for (std::size_t i = kBegin; i < kEnd; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForChunked, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  parallel_for_chunked(pool, 5, 5, 4,
+                       [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelForChunked, RejectsZeroChunk) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      parallel_for_chunked(pool, 0, 4, 0, [](std::size_t) {}),
+      std::invalid_argument);
+}
+
+TEST(ParallelForChunked, DrainsRangeAndRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    parallel_for_chunked(pool, 0, 32, 4, [&](std::size_t i) {
+      if (i == 9) throw std::runtime_error("high");
+      if (i == 3) throw std::logic_error("low");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "low");  // index 3 beats index 9
+  }
+  EXPECT_EQ(completed.load(), 30);  // every other index still ran
+}
+
+TEST(ParallelForChunked, NestedOnSamePoolDoesNotDeadlock) {
+  // The caller drains chunks itself, so even a 1-thread pool whose only
+  // worker is *inside* the outer loop makes progress on the inner one.
+  ThreadPool pool(1);
+  std::atomic<int> hits{0};
+  parallel_for_chunked(pool, 0, 4, 1, [&](std::size_t) {
+    parallel_for_chunked(pool, 0, 4, 1,
+                         [&](std::size_t) { hits.fetch_add(1); });
+  });
+  EXPECT_EQ(hits.load(), 16);
 }
 
 // --- run_many determinism ---------------------------------------------------
@@ -278,6 +333,40 @@ TEST(RunMany, MetricsAggregateAcrossWorkers) {
   std::int64_t events = metrics.counter("sim.events_processed").value();
   EXPECT_GT(events, 0);
   EXPECT_EQ(events % static_cast<std::int64_t>(reqs.size()), 0);
+}
+
+// --- Trainer::train_parallel ------------------------------------------------
+
+TEST(TrainParallel, WeightsBitwiseInvariantAcrossThreadCounts) {
+  // Round-based collection promises thread-count invariance: every stochastic
+  // draw happens serially on the main thread and the reduction is ordered, so
+  // the trained brain must serialize identically at any pool width.
+  TrainEnvRanges ranges;
+  ranges.capacity_hi_mbps = 50;
+  ranges.episode_length = sec(3);
+
+  BrainBoundFactory factory = [](const std::shared_ptr<RlBrain>& b) {
+    return make_libra_rl(b, /*training=*/true);
+  };
+  auto run = [&](std::size_t threads) {
+    RlCcaConfig cfg = libra_rl_config();
+    auto brain = std::make_shared<RlBrain>(make_ppo_config(cfg, 5, {8, 8}),
+                                           feature_frame_size(cfg.features));
+    Trainer trainer(ranges, 77);
+    ThreadPool pool(threads);
+    auto curve =
+        trainer.train_parallel(factory, brain, /*episodes=*/4, pool,
+                               /*round_size=*/3);
+    EXPECT_EQ(curve.size(), 4u);
+    std::ostringstream out;
+    brain->agent.save(out);
+    brain->normalizer.save(out);
+    return out.str();
+  };
+
+  const std::string one_thread = run(1);
+  EXPECT_EQ(run(2), one_thread);
+  EXPECT_EQ(run(4), one_thread);
 }
 
 // --- CcaZoo::train_all ------------------------------------------------------

@@ -140,6 +140,67 @@ TEST(Mlp, GradientsAccumulateAcrossBackwards) {
   EXPECT_NEAR(net.layers()[0].grad_weights.data()[0], 2 * g1, 1e-12);
 }
 
+// The batched training path must reproduce the per-sample path exactly:
+// outputs, accumulated parameter gradients, and input gradients, on random
+// networks of several shapes.
+TEST(Mlp, BatchForwardBackwardMatchesPerSample) {
+  const std::vector<std::vector<std::size_t>> shapes{
+      {3, 7, 1}, {5, 8, 4, 2}, {2, 16, 16, 1}};
+  for (std::size_t trial = 0; trial < shapes.size(); ++trial) {
+    const std::vector<std::size_t>& sizes = shapes[trial];
+    Rng rng(11 + trial);
+    Mlp batched(sizes, rng);
+    Rng other(99);
+    Mlp sample(sizes, other);
+    sample.copy_parameters_from(batched);
+
+    const std::size_t batch = 5;
+    const std::size_t in = sizes.front(), out = sizes.back();
+    Rng data(17 + trial);
+    std::vector<Vector> xs(batch), gs(batch);
+    for (std::size_t r = 0; r < batch; ++r) {
+      xs[r].resize(in);
+      gs[r].resize(out);
+      for (double& v : xs[r]) v = data.uniform(-1.0, 1.0);
+      for (double& v : gs[r]) v = data.uniform(-1.0, 1.0);
+    }
+
+    MlpWorkspace ws;
+    ws.configure(batched, batch);
+    ws.set_batch(batch);
+    for (std::size_t r = 0; r < batch; ++r)
+      std::copy(xs[r].begin(), xs[r].end(),
+                ws.input().data().begin() + static_cast<std::ptrdiff_t>(r * in));
+    batched.zero_gradients();
+    batched.forward_batch(ws);
+    for (std::size_t r = 0; r < batch; ++r)
+      std::copy(gs[r].begin(), gs[r].end(),
+                ws.output_grad().data().begin() +
+                    static_cast<std::ptrdiff_t>(r * out));
+    batched.backward_batch(ws, /*want_input_grad=*/true);
+
+    sample.zero_gradients();
+    for (std::size_t r = 0; r < batch; ++r) {
+      Vector y = sample.forward(xs[r]);
+      for (std::size_t j = 0; j < out; ++j)
+        EXPECT_NEAR(ws.output()(r, j), y[j], 1e-9)
+            << "shape " << trial << " row " << r;
+      Vector dx = sample.backward(gs[r]);
+      for (std::size_t j = 0; j < in; ++j)
+        EXPECT_NEAR(ws.input_grad(r, j), dx[j], 1e-9);
+    }
+    for (std::size_t li = 0; li < batched.layers().size(); ++li) {
+      const Mlp::Layer& lb = batched.layers()[li];
+      const Mlp::Layer& ls = sample.layers()[li];
+      for (std::size_t k = 0; k < lb.grad_weights.size(); ++k)
+        EXPECT_NEAR(lb.grad_weights.data()[k], ls.grad_weights.data()[k], 1e-9)
+            << "shape " << trial << " layer " << li << " weight " << k;
+      for (std::size_t k = 0; k < lb.grad_bias.size(); ++k)
+        EXPECT_NEAR(lb.grad_bias[k], ls.grad_bias[k], 1e-9);
+    }
+  }
+}
+
 TEST(Mlp, SaveLoadRoundTrip) {
   Rng rng(9);
   Mlp a({3, 4, 1}, rng);
@@ -202,6 +263,50 @@ TEST(Normalizer, Validation) {
   EXPECT_THROW(RunningNormalizer(0), std::invalid_argument);
   RunningNormalizer n(2);
   EXPECT_THROW(n.update({1.0}), std::invalid_argument);
+}
+
+// Collector normalizers freeze their reference stats while accumulating a
+// delta, so concurrent episodes normalize identically; merging the deltas in
+// order must equal having streamed every sample through one normalizer.
+TEST(Normalizer, DeltaMergeMatchesSerialUpdates) {
+  RunningNormalizer serial(2), master(2);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    Vector s{rng.normal(1.0, 2.0), rng.normal(-3.0, 0.5)};
+    serial.update(s);
+    master.update(s);
+  }
+  std::vector<Vector> ep1, ep2;
+  for (int i = 0; i < 40; ++i) ep1.push_back({rng.normal(), rng.normal(2.0, 3.0)});
+  for (int i = 0; i < 25; ++i) ep2.push_back({rng.normal(0.5), rng.normal()});
+
+  for (const Vector& s : ep1) serial.update(s);
+  for (const Vector& s : ep2) serial.update(s);
+
+  RunningNormalizer c1 = master, c2 = master;
+  c1.begin_delta_collection();
+  c2.begin_delta_collection();
+  for (const Vector& s : ep1) c1.update(s);
+  for (const Vector& s : ep2) c2.update(s);
+  master.merge(c1.take_delta());
+  master.merge(c2.take_delta());
+
+  EXPECT_EQ(master.count(), serial.count());
+  Vector zs = serial.normalize({1.0, 1.0});
+  Vector zm = master.normalize({1.0, 1.0});
+  EXPECT_NEAR(zm[0], zs[0], 1e-9);
+  EXPECT_NEAR(zm[1], zs[1], 1e-9);
+}
+
+TEST(Normalizer, DeltaModeNormalizesWithFrozenStats) {
+  RunningNormalizer n(1);
+  n.update({0.0});
+  n.update({2.0});
+  Vector before = n.normalize({2.0});
+  n.begin_delta_collection();
+  n.update({100.0});
+  n.update({200.0});
+  EXPECT_DOUBLE_EQ(n.normalize({2.0})[0], before[0]);
 }
 
 TEST(Normalizer, SaveLoadRoundTrip) {
@@ -275,6 +380,64 @@ TEST(Ppo, LearnsStateConditionalTarget) {
   }
   EXPECT_NEAR(agent.act_greedy({1.0}), 1.0, 0.35);
   EXPECT_NEAR(agent.act_greedy({-1.0}), -1.0, 0.35);
+}
+
+// Same task as LearnsStateConditionalTarget, but through the decoupled
+// collect/ingest path (round-based rollout collection with collect_only
+// snapshots): the golden-seed run must land in the same reward band.
+TEST(Ppo, CollectIngestLearnsTarget) {
+  PpoConfig cfg = small_ppo(1);
+  cfg.horizon = 256;
+  cfg.epochs = 8;
+  cfg.actor_lr = 3e-3;
+  cfg.critic_lr = 3e-3;
+  PpoAgent master(cfg);
+  Rng rng(2);
+  std::uint64_t collector_seed = 1000;
+  for (int round = 0; round < 80; ++round) {
+    PpoConfig ccfg = cfg;
+    ccfg.seed = collector_seed++;
+    ccfg.collect_only = true;
+    PpoAgent collector(ccfg);
+    collector.copy_parameters_from(master);
+    for (int step = 0; step < 250; ++step) {
+      double target = rng.chance(0.5) ? 1.0 : -1.0;
+      double a = collector.act({target});
+      collector.give_reward(-std::abs(a - target));
+    }
+    master.ingest(collector.take_transitions(/*mark_final_done=*/true));
+  }
+  EXPECT_GT(master.update_count(), 0);
+  EXPECT_NEAR(master.act_greedy({1.0}), 1.0, 0.35);
+  EXPECT_NEAR(master.act_greedy({-1.0}), -1.0, 0.35);
+}
+
+TEST(Ppo, CollectOnlyNeverUpdates) {
+  PpoConfig cfg = small_ppo();
+  cfg.collect_only = true;
+  PpoAgent agent(cfg);
+  for (std::size_t i = 0; i < 3 * cfg.horizon; ++i) {
+    agent.act({0.1, 0.2});
+    agent.give_reward(0.0);
+  }
+  EXPECT_EQ(agent.update_count(), 0);
+  EXPECT_EQ(agent.buffered_transitions(), 3 * cfg.horizon);
+}
+
+TEST(Ppo, TakeTransitionsMarksEpisodeBoundary) {
+  PpoConfig cfg = small_ppo();
+  cfg.collect_only = true;
+  PpoAgent agent(cfg);
+  agent.act({0.1, 0.2});
+  agent.give_reward(0.5);
+  agent.act({0.3, 0.4});
+  agent.give_reward(0.25);
+  agent.act({0.5, 0.6});  // left half-open: must be dropped
+  auto batch = agent.take_transitions(/*mark_final_done=*/true);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_FALSE(batch.front().done);
+  EXPECT_TRUE(batch.back().done);
+  EXPECT_EQ(agent.buffered_transitions(), 0u);
 }
 
 TEST(Ppo, SaveLoadRoundTrip) {

@@ -136,6 +136,35 @@ TEST(EventQueue, MoveOnlyCaptureCallback) {
   EXPECT_EQ(seen, 99);
 }
 
+TEST(EventQueue, RoutesClosuresToHotAndColdSlotPools) {
+  // Small (timer-like) closures land in the 24-byte hot pool; a fat capture
+  // goes to the cold pool. Ordering and behavior are pool-independent.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(msec(1), [&order] { order.push_back(1); });  // hot: one pointer
+  std::array<double, 8> payload{};
+  payload[7] = 2.0;
+  q.schedule_at(msec(2), [&order, payload] {  // 72 bytes: cold pool
+    order.push_back(static_cast<int>(payload[7]));
+  });
+  EXPECT_EQ(q.hot_slot_count(), 1u);
+  EXPECT_EQ(q.cold_slot_count(), 1u);
+  q.run_until(msec(2));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, HotSlotsAreRecycled) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    q.schedule_at(msec(i), [&fired] { ++fired; });
+    q.run_until(msec(i));
+  }
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(q.hot_slot_count(), 1u);  // one slot, reused 100 times
+  EXPECT_EQ(q.cold_slot_count(), 0u);
+}
+
 TEST(EventQueue, DestroysUnrunCallbacks) {
   // Pending events dropped with the queue must release their captures.
   auto token = std::make_shared<int>(1);
