@@ -1,5 +1,8 @@
 // Fig. 14 — Intra-protocol fairness: two flows of the same CCA share the
 // bottleneck. Paper shape: Libra ~99% Jain; pure learned CCAs visibly unfair.
+//
+// One run_many batch over (cca x seed); see bench_fig13_interfair.cc for the
+// batching rationale.
 #include "bench/common.h"
 
 #include "stats/fairness.h"
@@ -16,21 +19,34 @@ int main(int argc, char** argv) {
   const std::vector<std::string> ccas = {"cubic",   "bbr",  "copa",
                                          "aurora",  "proteus", "modified-rl",
                                          "orca",    "c-libra", "b-libra"};
-  Table t({"cca", "flow1 share", "flow2 share", "jain"});
+  constexpr int kRuns = 2;
+
+  std::vector<RunRequest> reqs;
   for (const std::string& name : ccas) {
-    double s1 = 0, s2 = 0, jain = 0;
-    constexpr int kRuns = 2;
+    CcaFactory factory = zoo().factory(name);
     for (int r = 0; r < kRuns; ++r) {
-      CcaFactory factory = zoo().factory(name);
-      auto net = run_scenario(s, {{factory}, {factory}},
-                              300 + static_cast<std::uint64_t>(r));
-      double a = net->flow(0).throughput_in(sec(20), sec(60));
-      double b = net->flow(1).throughput_in(sec(20), sec(60));
+      RunRequest req;
+      req.scenario = s;
+      req.flows = {{factory}, {factory}};
+      req.seed = 300 + static_cast<std::uint64_t>(r);
+      req.warmup = sec(20);
+      reqs.push_back(std::move(req));
+    }
+  }
+  std::vector<RunSummary> runs = run_many(reqs, default_pool());
+
+  Table t({"cca", "flow1 share", "flow2 share", "jain"});
+  for (std::size_t ci = 0; ci < ccas.size(); ++ci) {
+    double s1 = 0, s2 = 0, jain = 0;
+    for (int r = 0; r < kRuns; ++r) {
+      const RunSummary& sum = runs[ci * kRuns + static_cast<std::size_t>(r)];
+      double a = sum.flows[0].throughput_bps;
+      double b = sum.flows[1].throughput_bps;
       s1 += a / std::max(1.0, a + b);
       s2 += b / std::max(1.0, a + b);
       jain += jain_index({a, b});
     }
-    t.add_row({name, fmt(s1 / kRuns, 3), fmt(s2 / kRuns, 3), fmt(jain / kRuns, 3)});
+    t.add_row({ccas[ci], fmt(s1 / kRuns, 3), fmt(s2 / kRuns, 3), fmt(jain / kRuns, 3)});
   }
   section("Paper: libra ~0.99 jain; pure learned CCAs poor");
   t.print();

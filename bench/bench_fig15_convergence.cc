@@ -2,6 +2,11 @@
 // 48 Mbps / 100 ms / 1 BDP link. Prints each flow's throughput timeline and
 // the Tab. 5 metrics for the third flow (convergence time to a stable
 // +/-25% band held 5 s, stddev after convergence, mean after convergence).
+//
+// Needs more than a RunSummary (full per-flow time series), so each
+// RunRequest extracts its figures through the `inspect` hook — run on the
+// worker thread against the completed Network, into a slot only that request
+// touches — letting the per-CCA runs still fan across the pool.
 #include "bench/common.h"
 
 #include "stats/convergence.h"
@@ -18,33 +23,52 @@ int main(int argc, char** argv) {
   const std::vector<std::string> ccas = {"bbr",     "cubic",  "modified-rl",
                                          "indigo",  "proteus", "orca",
                                          "c-libra", "b-libra"};
+
+  struct ConvFigures {
+    std::vector<std::vector<double>> bins;  // 2 s timeline per flow
+    ConvergenceResult third;                // Tab. 5 metrics, flow 3
+  };
+  std::vector<ConvFigures> figures(ccas.size());
+
+  std::vector<RunRequest> reqs;
+  for (std::size_t ci = 0; ci < ccas.size(); ++ci) {
+    CcaFactory factory = zoo().factory(ccas[ci]);
+    RunRequest req;
+    req.scenario = s;
+    req.flows = {{factory, 0}, {factory, sec(5)}, {factory, sec(10)}};
+    req.seed = 17;
+    ConvFigures* out = &figures[ci];
+    req.inspect = [out, &s](const Network& net) {
+      for (int f = 0; f < 3; ++f) {
+        out->bins.push_back(
+            net.flow(f).acked_bytes_series().to_rate_bins(sec(2), s.duration));
+      }
+      // Tab. 5 metrics on the third flow, from its entry at 10 s.
+      TimeSeries shifted;
+      for (auto& pt : net.flow(2).acked_bytes_series().points())
+        shifted.add(pt.time - sec(10), pt.value);
+      auto fine = shifted.to_rate_bins(msec(500), sec(40));
+      out->third = analyze_convergence(fine, msec(500));
+    };
+    reqs.push_back(std::move(req));
+  }
+  run_many(reqs, default_pool());
+
   Table summary({"cca", "conv. time", "thr stddev (Mbps)", "avg thr (Mbps)"});
+  for (std::size_t ci = 0; ci < ccas.size(); ++ci) {
+    const ConvFigures& fig = figures[ci];
 
-  for (const std::string& name : ccas) {
-    CcaFactory factory = zoo().factory(name);
-    auto net = run_scenario(
-        s, {{factory, 0}, {factory, sec(5)}, {factory, sec(10)}}, 17);
-
-    // Timeline (2 s bins) for the figure.
     Table t({"t(s)", "flow1", "flow2", "flow3"});
-    std::vector<std::vector<double>> bins;
-    for (int f = 0; f < 3; ++f)
-      bins.push_back(net->flow(f).acked_bytes_series().to_rate_bins(sec(2), s.duration));
     for (int k = 0; k < 25; ++k) {
-      t.add_row({std::to_string(2 * k), fmt(bins[0][static_cast<std::size_t>(k)] / 1e6, 1),
-                 fmt(bins[1][static_cast<std::size_t>(k)] / 1e6, 1),
-                 fmt(bins[2][static_cast<std::size_t>(k)] / 1e6, 1)});
+      t.add_row({std::to_string(2 * k), fmt(fig.bins[0][static_cast<std::size_t>(k)] / 1e6, 1),
+                 fmt(fig.bins[1][static_cast<std::size_t>(k)] / 1e6, 1),
+                 fmt(fig.bins[2][static_cast<std::size_t>(k)] / 1e6, 1)});
     }
-    section(name);
+    section(ccas[ci]);
     t.print();
 
-    // Tab. 5 metrics on the third flow, from its entry at 10 s.
-    TimeSeries shifted;
-    for (auto& pt : net->flow(2).acked_bytes_series().points())
-      shifted.add(pt.time - sec(10), pt.value);
-    auto fine = shifted.to_rate_bins(msec(500), sec(40));
-    auto res = analyze_convergence(fine, msec(500));
-    summary.add_row({name,
+    const ConvergenceResult& res = fig.third;
+    summary.add_row({ccas[ci],
                      res.converged ? fmt(to_seconds(res.convergence_time), 1) + "s" : "-",
                      res.converged ? fmt(res.stddev_after / 1e6, 2) : "-",
                      res.converged ? fmt(res.mean_after / 1e6, 1) : "-"});

@@ -19,6 +19,7 @@
 #include "harness/runner.h"
 #include "harness/scenario.h"
 #include "harness/zoo.h"
+#include "obs/profiler.h"
 
 namespace libra::benchx {
 
@@ -29,6 +30,7 @@ struct BenchArgs {
   std::string json_path;      // empty: JSON document goes to stdout at exit
   std::string record_prefix;  // --record=PREFIX → stream per-run JSONL traces
   double duration_s = 0;      // --duration=SECS run-length override (0: default)
+  bool profile = false;       // --profile → in-process profiler report at exit
 };
 
 /// Enables the JsonReport capture hooks in harness/report.h plus a one-time
@@ -63,6 +65,8 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.record_prefix = std::string(a.substr(9));
     } else if (a.rfind("--duration=", 0) == 0) {
       args.duration_s = std::atof(std::string(a.substr(11)).c_str());
+    } else if (a == "--profile") {
+      args.profile = true;
     } else {
       std::cerr << "warning: unknown flag " << a << " (ignored)\n";
     }
@@ -72,6 +76,18 @@ inline BenchArgs parse_args(int argc, char** argv) {
     args.json_path = env;
   }
   if (args.json) enable_json(args.json_path);
+  if (args.profile) {
+    // Profile the whole bench; at exit the call tree goes to stderr and (when
+    // JSON capture is on) into the document under "profile". Runs before the
+    // JsonReport finalizer because atexit handlers fire in reverse order of
+    // registration and enable_json has already registered its own.
+    Profiler::instance().enable();
+    std::atexit([] {
+      Profiler::instance().disable();
+      JsonReport::instance().add_json("profile", Profiler::instance().to_json());
+      std::cerr << "\n" << Profiler::instance().text_report();
+    });
+  }
   return args;
 }
 

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verify plus sanitizer passes: ThreadSanitizer over the parallel
-# experiment engine + parallel rollout collection, AddressSanitizer over the
-# batched RL kernels, and a flight-recorder trace round-trip smoke test.
-# Usage: scripts/check.sh [--tsan-only | --asan-only | --no-sanitizers]
+# experiment engine + parallel rollout collection + profiler, AddressSanitizer
+# over the batched RL kernels, a flight-recorder trace round-trip smoke test,
+# and a profiler-enabled smoke run. `--bench` adds the opt-in benchmark
+# regression leg (scripts/bench_regress.sh against BENCH_seed.json).
+# Usage: scripts/check.sh [--tsan-only | --asan-only | --no-sanitizers | --bench]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,13 +12,15 @@ JOBS="${JOBS:-$(nproc)}"
 RUN_TIER1=1
 RUN_TSAN=1
 RUN_ASAN=1
+RUN_BENCH=0
 case "${1:-}" in
   --tsan-only) RUN_TIER1=0; RUN_ASAN=0 ;;
   --asan-only) RUN_TIER1=0; RUN_TSAN=0 ;;
   --no-tsan) RUN_TSAN=0 ;;
   --no-sanitizers) RUN_TSAN=0; RUN_ASAN=0 ;;
+  --bench) RUN_BENCH=1 ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only | --asan-only | --no-tsan | --no-sanitizers]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tsan-only | --asan-only | --no-tsan | --no-sanitizers | --bench]" >&2; exit 2 ;;
 esac
 
 if [[ "$RUN_TIER1" == 1 ]]; then
@@ -40,6 +44,21 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   grep -q '"link_utilization"' "$TRACE_DIR/summary.json" || {
     echo "trace round-trip: record_run emitted no JSON summary" >&2; exit 1; }
   echo "trace round-trip: ok"
+
+  echo "== profiler smoke: profiled run + validated JSON artifacts =="
+  # A profiler-enabled run must still produce a valid trace (with the --meta
+  # speed line parsed by trace_summarize) and print a call tree containing
+  # the event-dispatch span; every JSON artifact must parse.
+  ./build/tools/record_run --out="$TRACE_DIR/prof.jsonl" --duration=2 \
+    --meta --profile > "$TRACE_DIR/prof_summary.json" 2> "$TRACE_DIR/prof.err"
+  grep -q "sim.event" "$TRACE_DIR/prof.err" || {
+    echo "profiler smoke: report missing sim.event span" >&2; exit 1; }
+  ./build/tools/trace_summarize --warmup=1 "$TRACE_DIR/prof.jsonl" \
+    | grep -q "x real time" || {
+    echo "profiler smoke: trace meta speed line missing" >&2; exit 1; }
+  ./build/tools/json_check "$TRACE_DIR/prof_summary.json"
+  ./build/tools/json_check --jsonl "$TRACE_DIR/prof.jsonl"
+  echo "profiler smoke: ok"
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
@@ -47,10 +66,11 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DLIBRA_SANITIZE=thread >/dev/null
   # The determinism/engine tests are the ones that exercise cross-thread
   # sharing (frozen brains, the pool, run_many, parallel rollout collection,
-  # concurrent metrics merges and logger sinks); building the whole tree under
-  # TSan is unnecessary for the guarantee and triples the cycle time.
-  cmake --build build-tsan -j "$JOBS" --target parallel_test sim_test util_test obs_test rl_test
-  (cd build-tsan && ./tests/parallel_test && ./tests/sim_test && ./tests/util_test && ./tests/obs_test && ./tests/rl_test)
+  # concurrent metrics merges, logger sinks, and the profiler's thread-local
+  # trees + report-time merge); building the whole tree under TSan is
+  # unnecessary for the guarantee and triples the cycle time.
+  cmake --build build-tsan -j "$JOBS" --target parallel_test sim_test util_test obs_test profiler_test rl_test
+  (cd build-tsan && ./tests/parallel_test && ./tests/sim_test && ./tests/util_test && ./tests/obs_test && ./tests/profiler_test && ./tests/rl_test)
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -61,6 +81,11 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   # replaces global operator new, which conflicts with ASan's interceptors.
   cmake --build build-asan -j "$JOBS" --target rl_test harness_test
   (cd build-asan && ./tests/rl_test && ./tests/harness_test)
+fi
+
+if [[ "$RUN_BENCH" == 1 ]]; then
+  echo "== bench regression: compare against committed baseline =="
+  scripts/bench_regress.sh compare
 fi
 
 echo "check.sh: all green"

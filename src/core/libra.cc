@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "classic/window_adjustable.h"
+#include "obs/profiler.h"
 
 namespace libra {
 
@@ -70,6 +71,7 @@ void Libra::sync_classic_to(RateBps rate) {
 }
 
 void Libra::enter_exploration(SimTime now) {
+  PROF_SCOPE("libra.explore");
   stage_ = Stage::kExploration;
   SimDuration len = std::max<SimDuration>(
       kMinStage, static_cast<SimDuration>(params_.exploration_rtts *
@@ -90,6 +92,7 @@ void Libra::enter_exploration(SimTime now) {
 }
 
 void Libra::enter_evaluation(SimTime now) {
+  PROF_SCOPE("libra.evaluate");
   if (w_explore_) w_explore_->close(now);
   // Freeze the two candidates. The RL backup decision is the one costly
   // computation in the control cycle (Remark 5); meter it.
@@ -126,6 +129,7 @@ void Libra::enter_evaluation(SimTime now) {
 }
 
 void Libra::enter_exploitation(SimTime now) {
+  PROF_SCOPE("libra.exploit");
   stage_ = Stage::kExploitation;
   SimDuration len = std::max<SimDuration>(
       kMinStage, static_cast<SimDuration>(params_.exploitation_rtts *
@@ -136,6 +140,7 @@ void Libra::enter_exploitation(SimTime now) {
 }
 
 void Libra::finish_cycle(SimTime now) {
+  PROF_SCOPE("libra.cycle");
   // No feedback outside the exploration stage: fall back to x_prev (Sec. 3).
   bool first_ok = w_first_ && w_first_->acks() >= 2;
   bool second_ok = w_second_ && w_second_->acks() >= 2;

@@ -120,6 +120,7 @@ std::vector<RunSummary> run_many(const std::vector<RunRequest>& requests,
     auto t0 = std::chrono::steady_clock::now();
     auto net = run_scenario(req.scenario, req.flows, req.seed, req.obs);
     results[i] = summarize(*net, req.warmup, req.scenario.duration);
+    if (req.inspect) req.inspect(*net);
     if (options.metrics) {
       // Stamp batch-level series into the (still single-threaded) per-run
       // registry, then fold everything into the aggregate in one locked merge.

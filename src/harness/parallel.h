@@ -35,6 +35,12 @@ struct RunRequest {
   /// own trace_path — requests must not share a file.
   ObsOptions obs;
 
+  /// When set, invoked with the completed Network (on the worker thread,
+  /// after summarize, before the network is destroyed). The escape hatch for
+  /// experiments that need more than a RunSummary — e.g. per-flow time
+  /// series. Must only touch state owned by this request.
+  std::function<void(const Network&)> inspect;
+
   /// Single-flow convenience, mirroring run_single's signature.
   static RunRequest single(Scenario scenario, CcaFactory factory,
                            std::uint64_t seed, SimDuration warmup = sec(2));

@@ -30,6 +30,10 @@ std::unique_ptr<Network> run_scenario(const Scenario& scenario,
   }
   net->run_until(scenario.duration);
   net->finalize_metrics();
+  if (obs.trace_meta) {
+    net->recorder().run_meta(scenario.duration, net->wall_time_s(),
+                             to_seconds(scenario.duration));
+  }
   net->recorder().flush();  // drain the ring tail to the sink (no-op without one)
   return net;
 }
@@ -41,6 +45,9 @@ std::string to_json(const RunSummary& summary) {
   w.key("link_utilization").value(summary.link_utilization);
   w.key("avg_delay_ms").value(summary.avg_delay_ms);
   w.key("total_throughput_bps").value(summary.total_throughput_bps);
+  w.key("wall_time_s").value(summary.wall_time_s);
+  w.key("sim_time_s").value(summary.sim_time_s);
+  w.key("speed_ratio").value(summary.speed_ratio());
   w.key("flows").begin_array();
   for (const FlowSummary& f : summary.flows) {
     w.begin_object();
@@ -57,6 +64,8 @@ std::string to_json(const RunSummary& summary) {
 RunSummary summarize(const Network& net, SimTime warmup, SimTime horizon) {
   RunSummary sum;
   sum.link_utilization = net.link_utilization(warmup, horizon);
+  sum.wall_time_s = net.wall_time_s();
+  sum.sim_time_s = to_seconds(net.events().now());
   double rtt_weighted = 0;
   std::int64_t rtt_samples = 0;
   for (int i = 0; i < net.flow_count(); ++i) {

@@ -32,7 +32,17 @@ struct RunSummary {
   double link_utilization = 0;
   double avg_delay_ms = 0;   // mean per-ACK RTT across flows
   double total_throughput_bps = 0;
+  /// Wall-clock seconds the simulation took vs simulated seconds covered.
+  /// Host-dependent (excluded from the bitwise-determinism guarantee, which
+  /// covers the simulated quantities above).
+  double wall_time_s = 0;
+  double sim_time_s = 0;
   std::vector<FlowSummary> flows;
+
+  /// Simulated seconds per wall second (0 when wall time was not measured).
+  double speed_ratio() const {
+    return wall_time_s > 0 ? sim_time_s / wall_time_s : 0.0;
+  }
 };
 
 /// Serializes a summary as one JSON object (schema in EXPERIMENTS.md).
@@ -47,6 +57,10 @@ struct ObsOptions {
   /// flushes instead of overwriting), so runs of any length trace completely.
   std::string trace_path;
   TraceFormat trace_format = TraceFormat::kJsonl;
+  /// Appends an end-of-run "run" metadata event (wall/sim time, speed ratio)
+  /// to the trace. Off by default: wall time is host-dependent, and the
+  /// default trace must stay byte-identical for identical seeds.
+  bool trace_meta = false;
 };
 
 /// Builds the network and runs it to `scenario.duration`. The returned

@@ -4,6 +4,8 @@
 #include "harness/parallel.h"
 #include "learned/orca.h"
 #include "learned/rl_cca.h"
+#include "obs/json.h"
+#include "obs/profiler.h"
 
 namespace libra {
 
@@ -54,10 +56,30 @@ EpisodeStats Trainer::run_episode(const CcaFactory& make_cca) {
   return run_in_env(env, make_cca, run_seed);
 }
 
+void Trainer::emit_episode(int index, const EpisodeStats& stats) {
+  if (!telemetry_) return;
+  std::string line;
+  JsonWriter w(line);
+  w.begin_object();
+  w.key("ev").value("episode");
+  w.key("episode").value(static_cast<std::int64_t>(index));
+  w.key("reward").value(stats.reward);
+  w.key("steps").value(static_cast<std::int64_t>(stats.steps));
+  w.key("throughput_bps").value(stats.throughput_bps);
+  w.key("avg_rtt_ms").value(stats.avg_rtt_ms);
+  w.key("loss_rate").value(stats.loss_rate);
+  w.key("link_utilization").value(stats.link_utilization);
+  w.end_object();
+  telemetry_->write_line(line);
+}
+
 std::vector<EpisodeStats> Trainer::train(const CcaFactory& make_cca, int episodes) {
   std::vector<EpisodeStats> curve;
   curve.reserve(static_cast<std::size_t>(episodes));
-  for (int i = 0; i < episodes; ++i) curve.push_back(run_episode(make_cca));
+  for (int i = 0; i < episodes; ++i) {
+    curve.push_back(run_episode(make_cca));
+    emit_episode(i, curve.back());
+  }
   return curve;
 }
 
@@ -79,7 +101,31 @@ std::vector<EpisodeStats> Trainer::train_parallel(
   std::vector<EpisodeStats> curve;
   curve.reserve(static_cast<std::size_t>(episodes));
 
-  for (int done = 0; done < episodes; done += round_size) {
+  // Telemetry hook: every policy update the master agent runs during the
+  // ordered reduction streams its training statistics. The observer is a pure
+  // reader, so installing it cannot change the trained weights.
+  if (telemetry_) {
+    std::shared_ptr<LineSink> sink = telemetry_;
+    brain->agent.update_observer = [sink](const PpoUpdateStats& st) {
+      std::string line;
+      JsonWriter w(line);
+      w.begin_object();
+      w.key("ev").value("update");
+      w.key("update").value(static_cast<std::int64_t>(st.update));
+      w.key("transitions").value(static_cast<std::uint64_t>(st.transitions));
+      w.key("policy_loss").value(st.policy_loss);
+      w.key("value_loss").value(st.value_loss);
+      w.key("clip_fraction").value(st.clip_fraction);
+      w.key("approx_kl").value(st.approx_kl);
+      w.key("entropy").value(st.entropy);
+      w.end_object();
+      sink->write_line(line);
+    };
+  }
+
+  int round = 0;
+  for (int done = 0; done < episodes; done += round_size, ++round) {
+    PROF_SCOPE("train.round");
     const int r = std::min(round_size, episodes - done);
     std::vector<EpisodeJob> jobs(static_cast<std::size_t>(r));
 
@@ -102,6 +148,7 @@ std::vector<EpisodeStats> Trainer::train_parallel(
     // Fan the round's episodes out; each mutates only its own collector brain
     // and its own Network, so workers share nothing mutable.
     parallel_for_chunked(pool, 0, jobs.size(), 1, [&](std::size_t i) {
+      PROF_SCOPE("train.episode");
       EpisodeJob& job = jobs[i];
       job.stats = run_in_env(
           job.env, [&job, &make_cca] { return make_cca(job.collector); },
@@ -113,11 +160,35 @@ std::vector<EpisodeStats> Trainer::train_parallel(
     // Ordered reduction on the main thread: the only writes to the master
     // brain. Episode order is submission order, so the learned weights are
     // bitwise identical at any thread count.
-    for (EpisodeJob& job : jobs) {
-      brain->normalizer.merge(job.norm_delta);
-      brain->agent.ingest(std::move(job.rollout));
-      curve.push_back(job.stats);
+    {
+      PROF_SCOPE("train.reduce");
+      for (EpisodeJob& job : jobs) {
+        brain->normalizer.merge(job.norm_delta);
+        brain->agent.ingest(std::move(job.rollout));
+        emit_episode(done + static_cast<int>(&job - jobs.data()), job.stats);
+        curve.push_back(job.stats);
+      }
     }
+
+    if (telemetry_) {
+      std::string line;
+      JsonWriter w(line);
+      w.begin_object();
+      w.key("ev").value("round");
+      w.key("round").value(static_cast<std::int64_t>(round));
+      w.key("episodes_done").value(static_cast<std::int64_t>(done + r));
+      w.key("updates").value(static_cast<std::int64_t>(brain->agent.update_count()));
+      w.key("norm_count").value(static_cast<std::uint64_t>(brain->normalizer.count()));
+      w.key("norm_mean_abs").value(brain->normalizer.mean_abs());
+      w.key("norm_mean_std").value(brain->normalizer.mean_std());
+      w.key("exploration_stddev").value(brain->agent.exploration_stddev());
+      w.end_object();
+      telemetry_->write_line(line);
+    }
+  }
+  if (telemetry_) {
+    brain->agent.update_observer = nullptr;
+    telemetry_->flush();
   }
   return curve;
 }

@@ -14,6 +14,13 @@
 //    then reduces transitions and normalizer deltas back into the master
 //    brain in episode order. The reduction is the only place the master brain
 //    mutates, so trained weights are bitwise identical at any thread count.
+//
+// Telemetry: set_telemetry() attaches a LineSink; training then streams one
+// JSON object per line — {"ev":"episode",...} per finished episode,
+// {"ev":"update",...} per PPO policy update (loss/clip/KL/entropy, via
+// PpoAgent::update_observer), {"ev":"round",...} per parallel round with
+// normalizer statistics. Pure observation: the trained weights are identical
+// with or without a sink. Schema in EXPERIMENTS.md.
 #pragma once
 
 #include <functional>
@@ -23,6 +30,7 @@
 
 #include "harness/runner.h"
 #include "learned/rl_cca.h"
+#include "obs/sink.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -76,13 +84,21 @@ class Trainer {
                                            int episodes, ThreadPool& pool,
                                            int round_size = 8);
 
+  /// Streams per-episode / per-update / per-round training statistics as
+  /// JSONL through `sink` (nullptr disables). See the file header.
+  void set_telemetry(std::shared_ptr<LineSink> sink) {
+    telemetry_ = std::move(sink);
+  }
+
  private:
   Scenario sample_env(std::uint64_t& run_seed);
   EpisodeStats run_in_env(const Scenario& env, const CcaFactory& make_cca,
                           std::uint64_t run_seed);
+  void emit_episode(int index, const EpisodeStats& stats);
 
   TrainEnvRanges ranges_;
   Rng rng_;
+  std::shared_ptr<LineSink> telemetry_;
 };
 
 }  // namespace libra

@@ -112,6 +112,11 @@ std::shared_ptr<RlBrain> CcaZoo::train_or_load(const std::string& family) {
 
   auto train = [&] {
     Trainer trainer(ranges, config_.seed ^ 0x5EED);
+    if (config_.train_telemetry && !config_.brain_dir.empty()) {
+      // Learning curves are artifacts next to the brain they explain.
+      trainer.set_telemetry(StreamLineSink::open_file(
+          config_.brain_dir + "/" + family + ".train.jsonl"));
+    }
     trainer.train_parallel(train_factory, brain, config_.train_episodes,
                            default_pool(), config_.rollout_round);
   };

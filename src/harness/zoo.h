@@ -32,6 +32,10 @@ struct ZooConfig {
   /// Trainer::train_parallel). A fixed algorithm parameter: changing it
   /// changes the trained policy, changing the thread count does not.
   int rollout_round = 8;
+  /// Stream training telemetry (learning curves, PPO update stats) to
+  /// `<brain_dir>/<family>.train.jsonl` while training. Needs brain_dir;
+  /// pure observation — the trained weights are identical either way.
+  bool train_telemetry = true;
 };
 
 class CcaZoo {

@@ -116,6 +116,7 @@ const char* FlightRecorder::kind_name(TraceKind kind) {
     case TraceKind::kStage: return "stage";
     case TraceKind::kCycle: return "cycle";
     case TraceKind::kCca: return "cca";
+    case TraceKind::kRun: return "run";
   }
   return "unknown";
 }
@@ -184,6 +185,11 @@ void FlightRecorder::append_jsonl(const TraceEvent& ev, std::string& out) {
       w.key("code").value(ev.seq);
       w.key("v0").value(ev.a);
       w.key("v1").value(ev.b);
+      break;
+    case TraceKind::kRun:
+      w.key("wall_s").value(ev.a);
+      w.key("sim_s").value(ev.b);
+      w.key("speedup").value(ev.c);
       break;
   }
   w.end_object();

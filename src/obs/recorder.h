@@ -39,6 +39,7 @@ enum class TraceKind : std::uint8_t {
   kStage,         // Libra control-cycle stage transition
   kCycle,         // Libra per-cycle result (utilities + winner)
   kCca,           // CCA-internal event (code is algorithm-specific)
+  kRun,           // end-of-run metadata (wall/sim time, speed ratio)
 };
 
 enum class DropReason : int { kOverflow = 0, kWire = 1, kCodel = 2 };
@@ -135,6 +136,16 @@ class FlightRecorder {
   void cca_event(SimTime t, int flow, int code, double v0 = 0, double v1 = 0) {
     if (!enabled_) return;
     push({t, flow, TraceKind::kCca, static_cast<std::uint64_t>(code), v0, v1});
+  }
+
+  /// End-of-run metadata line: wall-clock seconds spent simulating vs
+  /// simulated seconds covered. Emitted only when ObsOptions::trace_meta is
+  /// set — the default trace stays a pure function of the seed, so the
+  /// byte-identical-trace determinism guarantee is unaffected.
+  void run_meta(SimTime t, double wall_s, double sim_s) {
+    if (!enabled_) return;
+    push({t, -1, TraceKind::kRun, 0, wall_s, sim_s,
+          wall_s > 0 ? sim_s / wall_s : 0.0});
   }
 
   // --- drain / inspect -----------------------------------------------------

@@ -102,6 +102,22 @@ class RunningNormalizer {
   std::size_t count() const { return n_; }
   std::size_t dim() const { return mean_.size(); }
 
+  /// Mean absolute per-feature mean — telemetry scalar summarizing where the
+  /// input distribution sits (0 means centred features).
+  double mean_abs() const {
+    double acc = 0;
+    for (double m : mean_) acc += std::abs(m);
+    return acc / static_cast<double>(mean_.size());
+  }
+
+  /// Mean per-feature standard deviation — telemetry scalar for input scale.
+  double mean_std() const {
+    if (n_ < 2) return 0.0;
+    double acc = 0;
+    for (double v : m2_) acc += std::sqrt(v / static_cast<double>(n_ - 1));
+    return acc / static_cast<double>(m2_.size());
+  }
+
   void save(std::ostream& out) const {
     out.precision(17);
     out << n_;

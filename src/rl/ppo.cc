@@ -7,6 +7,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/profiler.h"
+
 namespace libra {
 
 namespace {
@@ -116,32 +118,42 @@ void PpoAgent::ingest(std::vector<PpoTransition> batch) {
 void PpoAgent::flush_update(double bootstrap_value) { update(bootstrap_value); }
 
 void PpoAgent::update(double bootstrap_value) {
+  PROF_SCOPE("ppo.update");
   const std::size_t n = buffer_.size();
   if (n == 0) return;
 
-  // GAE-lambda advantages computed backward through the rollout. The vectors
-  // live in reserved capacity (<= horizon), so no allocation.
-  advantages_.resize(n);
-  returns_.resize(n);
-  double next_value = bootstrap_value;
-  double gae = 0.0;
-  for (std::size_t i = n; i-- > 0;) {
-    const PpoTransition& t = buffer_[i];
-    double not_done = t.done ? 0.0 : 1.0;
-    double delta = t.reward + config_.gamma * next_value * not_done - t.value;
-    gae = delta + config_.gamma * config_.gae_lambda * not_done * gae;
-    advantages_[i] = gae;
-    returns_[i] = gae + t.value;
-    next_value = t.value;
+  {
+    PROF_SCOPE("ppo.gae");
+    // GAE-lambda advantages computed backward through the rollout. The vectors
+    // live in reserved capacity (<= horizon), so no allocation.
+    advantages_.resize(n);
+    returns_.resize(n);
+    double next_value = bootstrap_value;
+    double gae = 0.0;
+    for (std::size_t i = n; i-- > 0;) {
+      const PpoTransition& t = buffer_[i];
+      double not_done = t.done ? 0.0 : 1.0;
+      double delta = t.reward + config_.gamma * next_value * not_done - t.value;
+      gae = delta + config_.gamma * config_.gae_lambda * not_done * gae;
+      advantages_[i] = gae;
+      returns_[i] = gae + t.value;
+      next_value = t.value;
+    }
+
+    // Normalize advantages for stable step sizes.
+    double mean = std::accumulate(advantages_.begin(), advantages_.end(), 0.0) /
+                  static_cast<double>(n);
+    double var = 0.0;
+    for (double a : advantages_) var += (a - mean) * (a - mean);
+    double sd = std::sqrt(var / static_cast<double>(n)) + 1e-8;
+    for (double& a : advantages_) a = (a - mean) / sd;
   }
 
-  // Normalize advantages for stable step sizes.
-  double mean = std::accumulate(advantages_.begin(), advantages_.end(), 0.0) /
-                static_cast<double>(n);
-  double var = 0.0;
-  for (double a : advantages_) var += (a - mean) * (a - mean);
-  double sd = std::sqrt(var / static_cast<double>(n)) + 1e-8;
-  for (double& a : advantages_) a = (a - mean) / sd;
+  // Training-dynamics accumulators (observer telemetry). Pure reads of values
+  // the loss/gradient path computes anyway: the weight updates are bit-
+  // identical whether or not anyone listens.
+  double stat_policy_loss = 0, stat_value_loss = 0, stat_kl = 0;
+  std::uint64_t stat_clipped = 0, stat_rows = 0;
 
   order_.resize(n);
   std::iota(order_.begin(), order_.end(), std::size_t{0});
@@ -175,7 +187,10 @@ void PpoAgent::update(double bootstrap_value) {
 
       // Actor: clipped surrogate over the whole minibatch. Gradient flows
       // only for rows where the unclipped ratio is the active branch.
-      actor_->forward_batch(actor_ws_);
+      {
+        PROF_SCOPE("ppo.forward");
+        actor_->forward_batch(actor_ws_);
+      }
       const Vector& mu = actor_ws_.output().data();  // (b x 1)
       Vector& dmu = actor_ws_.output_grad().data();
       for (std::size_t row = 0; row < b; ++row) {
@@ -184,6 +199,9 @@ void PpoAgent::update(double bootstrap_value) {
         double ratio = std::exp(logp - mb_old_logp_[row]);
         double clipped = std::clamp(ratio, 1.0 - config_.clip_ratio,
                                     1.0 + config_.clip_ratio);
+        stat_policy_loss -= std::min(ratio * adv, clipped * adv);
+        stat_kl += mb_old_logp_[row] - logp;
+        if (std::abs(ratio - 1.0) > config_.clip_ratio) ++stat_clipped;
         bool unclipped_active = ratio * adv <= clipped * adv + 1e-12;
         if (unclipped_active) {
           // dL/dlogp = -adv * ratio ; dlogp/dmu = (a - mu)/sd^2
@@ -198,24 +216,54 @@ void PpoAgent::update(double bootstrap_value) {
         // Entropy bonus: H = log_std + const; loss -= coef*H.
         log_std_grad -= config_.entropy_coef;
       }
-      actor_->backward_batch(actor_ws_);
+      {
+        PROF_SCOPE("ppo.backward");
+        actor_->backward_batch(actor_ws_);
+      }
 
       // Critic: 0.5*(V - ret)^2 over the same minibatch.
-      critic_->forward_batch(critic_ws_);
+      {
+        PROF_SCOPE("ppo.forward");
+        critic_->forward_batch(critic_ws_);
+      }
       const Vector& v = critic_ws_.output().data();
       Vector& dv = critic_ws_.output_grad().data();
-      for (std::size_t row = 0; row < b; ++row) dv[row] = v[row] - mb_ret_[row];
-      critic_->backward_batch(critic_ws_);
+      for (std::size_t row = 0; row < b; ++row) {
+        dv[row] = v[row] - mb_ret_[row];
+        stat_value_loss += 0.5 * dv[row] * dv[row];
+      }
+      stat_rows += b;
+      {
+        PROF_SCOPE("ppo.backward");
+        critic_->backward_batch(critic_ws_);
+      }
 
-      actor_opt_->step(1.0 / batch);
-      critic_opt_->step(1.0 / batch);
-      log_std_ -= log_std_opt_.step(log_std_grad / batch);
-      log_std_ = std::clamp(log_std_, config_.min_log_std, config_.max_log_std);
+      {
+        PROF_SCOPE("ppo.adam");
+        actor_opt_->step(1.0 / batch);
+        critic_opt_->step(1.0 / batch);
+        log_std_ -= log_std_opt_.step(log_std_grad / batch);
+        log_std_ = std::clamp(log_std_, config_.min_log_std, config_.max_log_std);
+      }
     }
   }
 
   buffer_.clear();
   ++updates_;
+
+  if (update_observer && stat_rows > 0) {
+    const double rows = static_cast<double>(stat_rows);
+    PpoUpdateStats stats;
+    stats.update = updates_;
+    stats.transitions = n;
+    stats.policy_loss = stat_policy_loss / rows;
+    stats.value_loss = stat_value_loss / rows;
+    stats.clip_fraction = static_cast<double>(stat_clipped) / rows;
+    stats.approx_kl = stat_kl / rows;
+    // Differential entropy of the Gaussian policy: log_std + 0.5*ln(2*pi*e).
+    stats.entropy = log_std_ + kHalfLog2Pi + 0.5;
+    update_observer(stats);
+  }
 }
 
 void PpoAgent::save(std::ostream& out) const {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -43,6 +44,19 @@ struct PpoConfig {
   /// policy update. Collector agents (one per parallel episode) run with this
   /// set; the master agent ingests their transitions in episode order.
   bool collect_only = false;
+};
+
+/// Training-dynamics snapshot of one policy update, averaged over every
+/// minibatch the update processed. Derived from values the update computes
+/// anyway, so observing costs nothing extra on the weight path.
+struct PpoUpdateStats {
+  int update = 0;              // 1-based update ordinal
+  std::size_t transitions = 0; // rollout size this update consumed
+  double policy_loss = 0;      // mean clipped-surrogate loss
+  double value_loss = 0;       // mean 0.5*(V - return)^2
+  double clip_fraction = 0;    // fraction of samples with |ratio-1| > clip
+  double approx_kl = 0;        // mean(old_logp - new_logp)
+  double entropy = 0;          // Gaussian policy entropy at end of update
 };
 
 /// One recorded (state, action, outcome) step of a rollout. Public so that
@@ -110,6 +124,11 @@ class PpoAgent {
   /// Persists/restores actor, critic and log-std (optimizer state excluded).
   void save(std::ostream& out) const;
   void load(std::istream& in);
+
+  /// Fired after every policy update with that update's training statistics
+  /// (the Trainer's telemetry hook). Pure observer: the update path computes
+  /// and applies identical gradients whether or not it is set.
+  std::function<void(const PpoUpdateStats&)> update_observer;
 
  private:
   void update(double bootstrap_value);

@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 
+#include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "sim/event_queue.h"
 #include "sim/packet.h"
@@ -50,6 +51,7 @@ class CodelQueue {
   void set_recorder(FlightRecorder* rec) { recorder_ = rec; }
 
   void send(Packet pkt) {
+    PROF_SCOPE("aqm.enqueue");
     if (config_.stochastic_loss > 0 && rng_.chance(config_.stochastic_loss)) {
       if (recorder_) recorder_->drop(events_.now(), pkt.flow_id, pkt.seq,
                                      pkt.bytes, queue_bytes_, DropReason::kWire);

@@ -22,6 +22,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "util/small_function.h"
 #include "util/types.h"
 
@@ -80,6 +81,7 @@ class EventQueue {
   /// Executes the earliest event; returns false when the queue is empty.
   bool run_next() {
     if (heap_.empty()) return false;
+    PROF_SCOPE("sim.event");
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     const Key key = heap_.back();
     heap_.pop_back();

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/profiler.h"
+
 namespace libra {
 
 namespace {
@@ -18,6 +20,7 @@ DropTailLink::DropTailLink(EventQueue& events, LinkConfig config)
 }
 
 void DropTailLink::send(Packet pkt) {
+  PROF_SCOPE("link.enqueue");
   // Stochastic wire loss models random (non-congestive) drops; it happens
   // before queueing, exactly like Mahimahi's --uplink-loss.
   if (config_.stochastic_loss > 0 && rng_.chance(config_.stochastic_loss)) {

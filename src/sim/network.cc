@@ -1,6 +1,9 @@
 #include "sim/network.h"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "obs/profiler.h"
 
 namespace libra {
 
@@ -70,11 +73,16 @@ void Network::finalize_metrics() {
 }
 
 void Network::run_until(SimTime t) {
+  PROF_SCOPE("sim.run");
+  const auto t0 = std::chrono::steady_clock::now();
   if (!started_) {
     started_ = true;
     for (auto& f : flows_) f->sender().start();
   }
   events_.run_until(t);
+  wall_time_s_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 }
 
 double Network::link_utilization(SimTime t0, SimTime t1) const {

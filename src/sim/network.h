@@ -28,7 +28,12 @@ class Network {
   /// Starts every flow and runs the event loop until `t`.
   void run_until(SimTime t);
 
+  /// Wall-clock seconds spent inside run_until so far — with events().now()
+  /// this gives the run's wall/sim speed ratio.
+  double wall_time_s() const { return wall_time_s_; }
+
   EventQueue& events() { return events_; }
+  const EventQueue& events() const { return events_; }
   DropTailLink& link() { return *link_; }
   Flow& flow(int i) { return *flows_.at(static_cast<std::size_t>(i)); }
   const Flow& flow(int i) const { return *flows_.at(static_cast<std::size_t>(i)); }
@@ -66,6 +71,7 @@ class Network {
   std::vector<std::unique_ptr<Flow>> flows_;
   std::vector<SimDuration> ack_delays_;
   TimeSeries deliveries_;  // (arrival time at receiver, bytes)
+  double wall_time_s_ = 0;
   bool started_ = false;
   bool metrics_finalized_ = false;
 };

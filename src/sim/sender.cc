@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/profiler.h"
+
 namespace libra {
 
 Sender::Sender(EventQueue& events, SenderConfig config,
@@ -83,6 +85,7 @@ void Sender::maybe_send() {
 }
 
 void Sender::transmit_one() {
+  PROF_SCOPE("sender.send");
   const SimTime now = events_.now();
   Packet pkt;
   pkt.flow_id = config_.flow_id;
@@ -124,6 +127,7 @@ SimDuration Sender::rto() const {
 }
 
 void Sender::on_ack_packet(const Packet& pkt) {
+  PROF_SCOPE("sender.ack");
   const SimTime now = events_.now();
   const Outstanding* found = outstanding_.find(pkt.seq);
   if (!found) return;  // already declared lost: spurious

@@ -1,7 +1,12 @@
-// Allocation audit for the PPO training path: after the first (warm-up)
-// update, Ppo::update must perform zero heap allocations — every workspace is
-// sized at construction. Lives in its own binary because it replaces the
-// global operator new with a counting wrapper.
+// Allocation audits, in one binary because it replaces the global operator
+// new with a counting wrapper:
+//   - PPO training path: after the first (warm-up) update, Ppo::update must
+//     perform zero heap allocations — every workspace is sized at
+//     construction;
+//   - profiler spans: a disabled PROF_SCOPE allocates nothing (the zero-cost
+//     hot-path claim), and an enabled span over an already-seen tree path
+//     allocates nothing either (steady-state profiling doesn't perturb the
+//     allocator).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -9,6 +14,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/profiler.h"
 #include "rl/ppo.h"
 #include "util/rng.h"
 
@@ -67,6 +73,40 @@ TEST(PpoAllocation, UpdateIsAllocationFreeAfterWarmup) {
   EXPECT_EQ(g_allocations.load(), 0u)
       << "Ppo::update allocated after warm-up; a workspace is being resized "
          "past its reserved capacity";
+}
+
+TEST(ProfilerAllocation, DisabledSpanAllocatesNothing) {
+  Profiler::instance().disable();
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 1000; ++i) {
+    PROF_SCOPE("alloc_test.disabled");
+  }
+  g_counting.store(false);
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "a disabled PROF_SCOPE must be a relaxed load + branch, nothing else";
+}
+
+TEST(ProfilerAllocation, EnabledSteadyStateSpanAllocatesNothing) {
+  Profiler::instance().disable();
+  Profiler::instance().reset();
+  Profiler::instance().enable();
+  {
+    // Warm-up: creates the thread's tree and the nodes for this path.
+    PROF_SCOPE("alloc_test.outer");
+    PROF_SCOPE("alloc_test.inner");
+  }
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 1000; ++i) {
+    PROF_SCOPE("alloc_test.outer");
+    PROF_SCOPE("alloc_test.inner");
+  }
+  g_counting.store(false);
+  Profiler::instance().disable();
+  Profiler::instance().reset();
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "re-entering an existing tree path must not allocate";
 }
 
 }  // namespace

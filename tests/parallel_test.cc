@@ -157,6 +157,30 @@ void expect_bitwise_equal(const RunSummary& a, const RunSummary& b) {
   }
 }
 
+TEST(RunMany, InspectHookSeesTheCompletedNetwork) {
+  // The escape hatch for experiments that need more than a RunSummary (e.g.
+  // fig15's convergence time series): inspect fires once per request, on the
+  // finished Network, and what it reads matches the serial run exactly.
+  std::vector<RunRequest> reqs = classic_sweep();
+  std::vector<double> inspected(reqs.size(), -1);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    double* slot = &inspected[i];
+    reqs[i].inspect = [slot](const Network& net) {
+      *slot = net.flow(0).acked_bytes_series().sum_in(0, kSimTimeMax);
+    };
+  }
+
+  ThreadPool pool(4);
+  run_many(reqs, pool);
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    SCOPED_TRACE(i);
+    auto net = run_scenario(reqs[i].scenario, reqs[i].flows, reqs[i].seed);
+    EXPECT_EQ(inspected[i],
+              net->flow(0).acked_bytes_series().sum_in(0, kSimTimeMax));
+  }
+}
+
 TEST(RunMany, BitwiseIdenticalToSerialForClassicCca) {
   std::vector<RunRequest> reqs = classic_sweep();
 

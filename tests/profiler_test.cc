@@ -1,0 +1,177 @@
+// In-process profiler: call-tree aggregation math, cross-thread merge
+// determinism, and the serial-vs-parallel invariant (the same experiment
+// batch records the same span counts per name regardless of thread count).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "classic/cubic.h"
+#include "harness/parallel.h"
+#include "harness/scenario.h"
+#include "obs/profiler.h"
+#include "util/thread_pool.h"
+
+namespace libra {
+namespace {
+
+// Tests share the process-wide profiler; serialize and always restore the
+// disabled default so other suites never observe a profiling run.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::instance().disable();
+    Profiler::instance().reset();
+    Profiler::instance().enable();
+  }
+  void TearDown() override {
+    Profiler::instance().disable();
+    Profiler::instance().reset();
+  }
+};
+
+const ProfileStats* find_child(const ProfileStats& node, const std::string& name) {
+  for (const ProfileStats& c : node.children)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+// Flattened per-name totals; tree paths aside, these are what serial and
+// parallel execution of the same work must agree on.
+void accumulate_by_name(const ProfileStats& node,
+                        std::map<std::string, std::uint64_t>& counts) {
+  if (!node.name.empty()) counts[node.name] += node.count;
+  for (const ProfileStats& c : node.children) accumulate_by_name(c, counts);
+}
+
+void spin_spans(int outer_iters, int inner_iters) {
+  for (int i = 0; i < outer_iters; ++i) {
+    PROF_SCOPE("outer");
+    for (int j = 0; j < inner_iters; ++j) {
+      PROF_SCOPE("inner");
+    }
+  }
+}
+
+TEST_F(ProfilerTest, TreeAggregationCountsAndTimes) {
+  spin_spans(/*outer_iters=*/5, /*inner_iters=*/3);
+
+  ProfileStats root = Profiler::instance().merged();
+  const ProfileStats* outer = find_child(root, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 5u);
+
+  const ProfileStats* inner = find_child(*outer, "inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 15u);
+  EXPECT_TRUE(inner->children.empty());
+
+  // Time algebra: a parent's child_ns is the sum of its children's totals,
+  // self = total - child, min <= max, and a span's time nests inside its
+  // parent's.
+  EXPECT_EQ(outer->child_ns, inner->total_ns);
+  EXPECT_EQ(outer->self_ns(), outer->total_ns - outer->child_ns);
+  EXPECT_LE(inner->min_ns, inner->max_ns);
+  EXPECT_LE(inner->total_ns, outer->total_ns);
+  EXPECT_GE(inner->total_ns, inner->min_ns * inner->count);
+  EXPECT_LE(inner->total_ns, inner->max_ns * inner->count);
+
+  // The same name reached through different parents is a distinct path.
+  {
+    PROF_SCOPE("other_parent");
+    PROF_SCOPE("inner");
+  }
+  root = Profiler::instance().merged();
+  const ProfileStats* other = find_child(root, "other_parent");
+  ASSERT_NE(other, nullptr);
+  ASSERT_NE(find_child(*other, "inner"), nullptr);
+  EXPECT_EQ(find_child(*other, "inner")->count, 1u);
+  EXPECT_EQ(find_child(*find_child(root, "outer"), "inner")->count, 15u);
+}
+
+TEST_F(ProfilerTest, ResetUnderLiveSpanIsSafe) {
+  PROF_SCOPE("live");
+  Profiler::instance().reset();  // exit() must tolerate the vanished node
+}
+
+TEST_F(ProfilerTest, CrossThreadMergeIsDeterministic) {
+  // Three threads record the same span names with different counts; the merge
+  // must fold them path-by-path with name-sorted children, independent of
+  // registration or completion order.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([t] { spin_spans(t + 1, 2); });
+  }
+  for (std::thread& th : threads) th.join();
+  spin_spans(1, 2);  // and the main thread participates too
+
+  ProfileStats root = Profiler::instance().merged();
+  EXPECT_GE(Profiler::instance().thread_count(), 4u);
+
+  const ProfileStats* outer = find_child(root, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u + 2u + 3u + 1u);
+  const ProfileStats* inner = find_child(*outer, "inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, outer->count * 2);
+
+  // Children are name-sorted at every level, so two merges agree exactly.
+  ProfileStats again = Profiler::instance().merged();
+  std::map<std::string, std::uint64_t> a, b;
+  accumulate_by_name(root, a);
+  accumulate_by_name(again, b);
+  EXPECT_EQ(a, b);
+  ASSERT_GE(root.children.size(), 1u);
+  for (std::size_t i = 1; i < root.children.size(); ++i)
+    EXPECT_LT(root.children[i - 1].name, root.children[i].name);
+}
+
+TEST_F(ProfilerTest, SerialAndParallelRunsRecordIdenticalSpanCounts) {
+  // The instrumented simulator processes the same events for the same seeds
+  // at any thread count, so per-name span totals must match between a serial
+  // loop and run_many on a pool — the profiling analogue of the engine's
+  // bitwise-determinism guarantee.
+  Scenario s = wired_scenario(24);
+  s.duration = sec(2);
+  CcaFactory factory = [] { return std::make_unique<Cubic>(); };
+  std::vector<RunRequest> reqs;
+  for (int r = 0; r < 3; ++r)
+    reqs.push_back(RunRequest::single(s, factory, 7000 + static_cast<std::uint64_t>(r)));
+
+  std::map<std::string, std::uint64_t> serial_counts;
+  for (const RunRequest& req : reqs)
+    run_single(req.scenario, factory, req.seed, req.warmup);
+  accumulate_by_name(Profiler::instance().merged(), serial_counts);
+
+  Profiler::instance().reset();
+  ThreadPool pool(2);
+  std::map<std::string, std::uint64_t> parallel_counts;
+  run_many(reqs, pool);
+  accumulate_by_name(Profiler::instance().merged(), parallel_counts);
+
+  ASSERT_GT(serial_counts.at("sim.event"), 0u);
+  EXPECT_EQ(serial_counts, parallel_counts);
+}
+
+TEST_F(ProfilerTest, ReportsContainRecordedSpans) {
+  spin_spans(2, 1);
+  std::string json = Profiler::instance().to_json();
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\":"), std::string::npos);
+  std::string text = Profiler::instance().text_report();
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("count"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, DisabledSpansRecordNothing) {
+  Profiler::instance().disable();
+  spin_spans(4, 4);
+  Profiler::instance().enable();
+  ProfileStats root = Profiler::instance().merged();
+  EXPECT_EQ(find_child(root, "outer"), nullptr);
+}
+
+}  // namespace
+}  // namespace libra

@@ -1,0 +1,408 @@
+// Continuous benchmark-regression driver.
+//
+// Runs a fixed set of hand-timed workloads (mirroring bench_micro's shapes,
+// but without the google-benchmark dependency so the output schema is ours),
+// reports median/stddev over N repeats, and either records a baseline JSON
+// or compares against a committed one:
+//
+//   bench_baseline --record=BENCH_seed.json --label=seed --git-sha=$(git rev-parse HEAD)
+//   bench_baseline --compare=BENCH_seed.json            # exit 1 on regression
+//
+// Each metric carries its own tolerance *in the baseline file*, so the
+// pass/fail contract is versioned with the numbers it applies to;
+// --tolerance=X overrides all of them (useful to prove the harness fails:
+// --tolerance=-0.99 makes any fresh run a regression).
+//
+// Schema ("libra-bench-v1"):
+//   {"schema":"libra-bench-v1","label":...,"git_sha":...,
+//    "host":{"sysname":...,"release":...,"machine":...,"cores":N},
+//    "repeats":N,"metrics":{"<name>":{"median":M,"stddev":S,"unit":U,
+//                                     "tolerance":T}}}
+#include <sys/utsname.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "classic/cubic.h"
+#include "harness/parallel.h"
+#include "harness/scenario.h"
+#include "learned/libra_rl.h"
+#include "obs/json.h"
+#include "obs/json_parse.h"
+#include "obs/profiler.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "trace/lte_model.h"
+#include "util/rng.h"
+
+namespace libra {
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- Workloads --------------------------------------------------------------
+// Each returns one sample of its metric in the metric's unit. Workload shapes
+// match bench_micro so the two tools corroborate each other; sizes are tuned
+// so a repeat stays well under a second.
+
+double wl_event_queue_ns() {
+  constexpr int kCycles = 200, kEvents = 1000;
+  int sink = 0;
+  double t0 = now_s();
+  for (int c = 0; c < kCycles; ++c) {
+    EventQueue q;
+    for (int i = 0; i < kEvents; ++i) q.schedule_at(i, [&sink] { ++sink; });
+    q.run_until(2 * kEvents);
+  }
+  double elapsed = now_s() - t0;
+  if (sink != kCycles * kEvents) std::abort();  // the sink is also the check
+  return elapsed * 1e9 / (kCycles * kEvents);
+}
+
+double wl_event_queue_large_capture_ns() {
+  // Packet-sized closure: the shape the ACK path schedules per delivery.
+  struct FakeAckContext {
+    Packet pkt;
+    void* owner = nullptr;
+    std::size_t idx = 0;
+  };
+  constexpr int kCycles = 200, kEvents = 1000;
+  long sink = 0;
+  double t0 = now_s();
+  for (int c = 0; c < kCycles; ++c) {
+    EventQueue q;
+    for (int i = 0; i < kEvents; ++i) {
+      FakeAckContext ctx;
+      ctx.pkt.seq = static_cast<std::uint64_t>(i);
+      ctx.owner = &sink;
+      ctx.idx = static_cast<std::size_t>(i);
+      q.schedule_at(i, [ctx, &sink] { sink += static_cast<long>(ctx.pkt.seq); });
+    }
+    q.run_until(2 * kEvents);
+  }
+  double elapsed = now_s() - t0;
+  if (sink == 0) std::abort();
+  return elapsed * 1e9 / (kCycles * kEvents);
+}
+
+double simulated_second_cubic_ns_per_event(double cap_mbps) {
+  LinkConfig cfg;
+  cfg.capacity = std::make_shared<ConstantTrace>(mbps(cap_mbps));
+  cfg.buffer_bytes = 150'000;
+  cfg.propagation_delay = msec(15);
+  Network net(std::move(cfg));
+  net.add_flow(std::make_unique<Cubic>());
+  double t0 = now_s();
+  net.run_until(sec(1));
+  double elapsed = now_s() - t0;
+  return elapsed * 1e9 / static_cast<double>(net.events().processed());
+}
+
+double wl_sim_second_cubic_10_ns() { return simulated_second_cubic_ns_per_event(10); }
+double wl_sim_second_cubic_100_ns() { return simulated_second_cubic_ns_per_event(100); }
+
+double wl_seed_sweep_ms() {
+  // The parallel experiment engine end to end: 12 seeds of a 4-simulated-
+  // second wired run fanned over the process-wide pool.
+  Scenario s = wired_scenario(24);
+  s.duration = sec(4);
+  CcaFactory factory = [] { return std::make_unique<Cubic>(); };
+  std::vector<RunRequest> reqs;
+  for (int r = 0; r < 12; ++r)
+    reqs.push_back(RunRequest::single(s, factory, 1000 + static_cast<std::uint64_t>(r)));
+  double t0 = now_s();
+  std::vector<RunSummary> out = run_many(reqs, default_pool());
+  double elapsed = now_s() - t0;
+  if (out.size() != reqs.size()) std::abort();
+  return elapsed * 1e3;
+}
+
+double wl_ppo_inference_ns() {
+  RlCcaConfig cfg = libra_rl_config();
+  RlBrain brain(make_ppo_config(cfg, 3, {64, 64}), feature_frame_size(cfg.features));
+  Vector s(brain.agent.config().state_dim, 0.1);
+  constexpr int kIters = 2000;
+  double acc = 0;
+  double t0 = now_s();
+  for (int i = 0; i < kIters; ++i) acc += brain.agent.act_greedy(s);
+  double elapsed = now_s() - t0;
+  if (std::isnan(acc)) std::abort();
+  return elapsed * 1e9 / kIters;
+}
+
+double wl_ppo_update_ms() {
+  // Isolates Ppo::update: the rollout buffer is refilled off the clock.
+  RlCcaConfig cfg = libra_rl_config();
+  PpoConfig ppo = make_ppo_config(cfg, 3, {64, 64});
+  ppo.collect_only = true;
+  PpoAgent agent(ppo);
+  Rng rng(5);
+  Vector s(ppo.state_dim);
+  constexpr int kUpdates = 3;
+  double elapsed = 0;
+  for (int u = 0; u < kUpdates; ++u) {
+    while (agent.buffered_transitions() < ppo.horizon) {
+      for (double& v : s) v = rng.uniform(-1.0, 1.0);
+      agent.give_reward(-std::abs(agent.act(s) - s[0]));
+    }
+    double t0 = now_s();
+    agent.flush_update(0.0);
+    elapsed += now_s() - t0;
+  }
+  return elapsed * 1e3 / kUpdates;
+}
+
+double wl_lte_trace_ms() {
+  std::uint64_t seed = 1;
+  constexpr int kTraces = 3;
+  double acc = 0;
+  double t0 = now_s();
+  for (int i = 0; i < kTraces; ++i) {
+    auto t = make_lte_trace(LteProfile::kDriving, sec(60), seed++);
+    acc += t->rate_at(sec(30));
+  }
+  double elapsed = now_s() - t0;
+  if (acc <= 0) std::abort();
+  return elapsed * 1e3 / kTraces;
+}
+
+struct MetricDef {
+  const char* name;
+  const char* unit;
+  double tolerance;  // default relative headroom recorded into the baseline
+  double (*run)();
+};
+
+// Tolerances are generous because container CI shares cores; real
+// regressions here are multiples, not percentages (the PR-1 hot-path work
+// moved these 3-10x). Short workloads get the widest headroom — a scheduler
+// hiccup on a 1-core box can double a 20 ms sample — while the long, stable
+// ones (ppo_update ~45 ms/sample, stddev < 1%) stay tight.
+constexpr MetricDef kMetrics[] = {
+    {"event_queue_schedule_run", "ns/item", 0.50, wl_event_queue_ns},
+    {"event_queue_large_capture", "ns/item", 0.50, wl_event_queue_large_capture_ns},
+    {"sim_second_cubic_10mbps", "ns/event", 0.75, wl_sim_second_cubic_10_ns},
+    {"sim_second_cubic_100mbps", "ns/event", 0.75, wl_sim_second_cubic_100_ns},
+    {"seed_sweep_12x4s", "ms", 0.50, wl_seed_sweep_ms},
+    {"ppo_inference_h64", "ns/call", 0.75, wl_ppo_inference_ns},
+    {"ppo_update_h64", "ms/update", 0.35, wl_ppo_update_ms},
+    {"lte_trace_synthesis_60s", "ms/trace", 0.50, wl_lte_trace_ms},
+};
+
+struct MetricResult {
+  double median = 0;
+  double stddev = 0;
+};
+
+MetricResult summarize_samples(std::vector<double> samples) {
+  MetricResult r;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  r.median = n % 2 ? samples[n / 2]
+                   : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  double mean = 0;
+  for (double s : samples) mean += s;
+  mean /= static_cast<double>(n);
+  double var = 0;
+  for (double s : samples) var += (s - mean) * (s - mean);
+  r.stddev = n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
+  return r;
+}
+
+struct Options {
+  std::string record_path;
+  std::string compare_path;
+  std::string label = "local";
+  std::string git_sha;
+  int repeats = 5;
+  double tolerance_override = 0;  // 0: use per-metric tolerance from baseline
+  bool profile = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " (--record=PATH | --compare=PATH) [--label=NAME]\n"
+               "       [--git-sha=SHA] [--repeats=N] [--tolerance=FRAC]\n"
+               "       [--profile]\n\n"
+               "  --record    run the suite and write a libra-bench-v1 baseline\n"
+               "  --compare   run the suite and diff against a recorded baseline;\n"
+               "              exits 1 if any metric regresses past its tolerance\n"
+               "  --tolerance override every per-metric tolerance (e.g. 0.1;\n"
+               "              negative values force failure, for harness tests)\n"
+               "  --repeats   samples per metric (median reported; default 5)\n"
+               "  --profile   enable the in-process profiler and print its\n"
+               "              report after the suite\n";
+  return 2;
+}
+
+std::string host_field(const char* v) { return v ? std::string(v) : std::string(); }
+
+void write_baseline(const Options& opt,
+                    const std::vector<MetricResult>& results,
+                    const std::string& path) {
+  utsname un{};
+  uname(&un);
+  std::string doc;
+  JsonWriter w(doc);
+  w.begin_object();
+  w.key("schema").value("libra-bench-v1");
+  w.key("label").value(opt.label);
+  w.key("git_sha").value(opt.git_sha);
+  w.key("host");
+  w.begin_object();
+  w.key("sysname").value(host_field(un.sysname));
+  w.key("release").value(host_field(un.release));
+  w.key("machine").value(host_field(un.machine));
+  w.key("cores").value(static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  w.end_object();
+  w.key("repeats").value(static_cast<std::int64_t>(opt.repeats));
+  w.key("metrics");
+  w.begin_object();
+  for (std::size_t i = 0; i < std::size(kMetrics); ++i) {
+    w.key(kMetrics[i].name);
+    w.begin_object();
+    w.key("median").value(results[i].median);
+    w.key("stddev").value(results[i].stddev);
+    w.key("unit").value(kMetrics[i].unit);
+    w.key("tolerance").value(kMetrics[i].tolerance);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_baseline: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << doc << "\n";
+  std::cout << "\nrecorded baseline -> " << path << "\n";
+}
+
+int compare_baseline(const Options& opt,
+                     const std::vector<MetricResult>& results,
+                     const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bench_baseline: cannot read baseline " << path << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  JsonValue base;
+  try {
+    base = json_parse(buf.str());
+  } catch (const std::exception& e) {
+    std::cerr << "bench_baseline: malformed baseline: " << e.what() << "\n";
+    return 1;
+  }
+  if (base.find("schema") == nullptr ||
+      base.find("schema")->string_or("") != "libra-bench-v1") {
+    std::cerr << "bench_baseline: " << path << " is not a libra-bench-v1 file\n";
+    return 1;
+  }
+  const JsonValue* metrics = base.find("metrics");
+  if (!metrics || !metrics->is_object()) {
+    std::cerr << "bench_baseline: baseline has no metrics object\n";
+    return 1;
+  }
+
+  std::printf("\n%-28s %12s %12s %7s %6s  %s\n", "metric", "baseline", "fresh",
+              "ratio", "tol", "status");
+  int regressions = 0, missing = 0;
+  for (std::size_t i = 0; i < std::size(kMetrics); ++i) {
+    const MetricDef& def = kMetrics[i];
+    const JsonValue* m = metrics->find(def.name);
+    if (!m || !m->is_object() || !m->find("median")) {
+      std::printf("%-28s %12s %12.2f %7s %6s  %s\n", def.name, "-",
+                  results[i].median, "-", "-", "MISSING (not in baseline)");
+      ++missing;
+      continue;
+    }
+    const double baseline = m->find("median")->number_or(0);
+    double tol = opt.tolerance_override != 0
+                     ? opt.tolerance_override
+                     : (m->find("tolerance") ? m->find("tolerance")->number_or(def.tolerance)
+                                             : def.tolerance);
+    const double ratio = baseline > 0 ? results[i].median / baseline : 0;
+    const bool regressed = baseline > 0 && results[i].median > baseline * (1.0 + tol);
+    const bool improved = baseline > 0 && results[i].median < baseline * (1.0 - tol);
+    const char* status = regressed ? "REGRESSED" : improved ? "ok (improved)" : "ok";
+    if (regressed) ++regressions;
+    std::printf("%-28s %12.2f %12.2f %7.3f %6.2f  %s\n", def.name, baseline,
+                results[i].median, ratio, tol, status);
+  }
+  std::printf("\nbaseline: %s (label=%s sha=%s)\n", path.c_str(),
+              base.find("label") ? base.find("label")->string_or("?").c_str() : "?",
+              base.find("git_sha") ? base.find("git_sha")->string_or("?").c_str() : "?");
+  if (missing > 0)
+    std::printf("note: %d metric(s) absent from the baseline — re-record it\n", missing);
+  if (regressions > 0) {
+    std::printf("FAIL: %d metric(s) regressed past tolerance\n", regressions);
+    return 1;
+  }
+  std::printf("PASS: all %zu metrics within tolerance\n", std::size(kMetrics));
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a.rfind("--record=", 0) == 0) opt.record_path = std::string(a.substr(9));
+    else if (a.rfind("--compare=", 0) == 0) opt.compare_path = std::string(a.substr(10));
+    else if (a.rfind("--label=", 0) == 0) opt.label = std::string(a.substr(8));
+    else if (a.rfind("--git-sha=", 0) == 0) opt.git_sha = std::string(a.substr(10));
+    else if (a.rfind("--repeats=", 0) == 0) opt.repeats = std::atoi(std::string(a.substr(10)).c_str());
+    else if (a.rfind("--tolerance=", 0) == 0) opt.tolerance_override = std::atof(std::string(a.substr(12)).c_str());
+    else if (a == "--profile") opt.profile = true;
+    else return usage(argv[0]);
+  }
+  if (opt.record_path.empty() == opt.compare_path.empty()) return usage(argv[0]);
+  if (opt.repeats < 1) opt.repeats = 1;
+
+  if (opt.profile) Profiler::instance().enable();
+
+  std::printf("libra bench suite: %zu metrics x %d repeats\n", std::size(kMetrics),
+              opt.repeats);
+  std::vector<MetricResult> results;
+  results.reserve(std::size(kMetrics));
+  for (const MetricDef& def : kMetrics) {
+    def.run();  // one warmup sample (caches, pool spin-up) discarded
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(opt.repeats));
+    for (int r = 0; r < opt.repeats; ++r) samples.push_back(def.run());
+    results.push_back(summarize_samples(samples));
+    std::printf("  %-28s %12.2f %s (stddev %.2f)\n", def.name,
+                results.back().median, def.unit, results.back().stddev);
+    std::fflush(stdout);
+  }
+
+  int rc = 0;
+  if (!opt.record_path.empty()) write_baseline(opt, results, opt.record_path);
+  else rc = compare_baseline(opt, results, opt.compare_path);
+
+  if (opt.profile) {
+    Profiler::instance().disable();
+    std::cout << "\n" << Profiler::instance().text_report();
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace libra
+
+int main(int argc, char** argv) { return libra::run(argc, argv); }

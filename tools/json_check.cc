@@ -1,0 +1,78 @@
+// Validates that each argument file parses as one well-formed JSON document
+// (or, with --jsonl, as one document per line). Exit 0 when everything
+// parses, 1 otherwise — check.sh uses this to smoke-test the JSON the bench
+// and profiling paths emit.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json_parse.h"
+
+namespace {
+
+bool check_document(const std::string& path, const std::string& text) {
+  try {
+    libra::json_parse(text);
+    return true;
+  } catch (const std::exception& e) {
+    std::cerr << path << ": " << e.what() << "\n";
+    return false;
+  }
+}
+
+bool check_jsonl(const std::string& path, const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0, docs = 0;
+  bool ok = true;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    try {
+      libra::json_parse(line);
+      ++docs;
+    } catch (const std::exception& e) {
+      std::cerr << path << ":" << lineno << ": " << e.what() << "\n";
+      ok = false;
+    }
+  }
+  if (docs == 0) {
+    std::cerr << path << ": no JSON documents found\n";
+    return false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool jsonl = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a == "--jsonl") jsonl = true;
+    else paths.emplace_back(a);
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: json_check [--jsonl] FILE...\n";
+    return 2;
+  }
+
+  bool ok = true;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << path << ": cannot open\n";
+      ok = false;
+      continue;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    ok &= jsonl ? check_jsonl(path, buf.str()) : check_document(path, buf.str());
+  }
+  if (ok) std::cout << paths.size() << " file(s) ok\n";
+  return ok ? 0 : 1;
+}

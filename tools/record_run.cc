@@ -5,7 +5,12 @@
 // trace_summarize.
 //
 //   record_run [--out=trace.jsonl] [--cca=cubic|bbr] [--rate=MBPS]
-//              [--duration=SECS] [--seed=N]
+//              [--duration=SECS] [--seed=N] [--meta] [--profile]
+//
+// --meta appends the end-of-run "run" metadata event (wall/sim time) to the
+// trace; off by default so default traces stay byte-identical per seed.
+// --profile enables the in-process profiler and prints its call-tree report
+// to stderr after the run.
 #include <cstdint>
 #include <iostream>
 #include <memory>
@@ -16,6 +21,7 @@
 #include "classic/cubic.h"
 #include "harness/runner.h"
 #include "harness/scenario.h"
+#include "obs/profiler.h"
 
 int main(int argc, char** argv) {
   using namespace libra;
@@ -24,6 +30,8 @@ int main(int argc, char** argv) {
   double rate_mbps = 48;
   double duration_s = 5;
   std::uint64_t seed = 1;
+  bool meta = false;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     if (a.rfind("--out=", 0) == 0) {
@@ -37,9 +45,14 @@ int main(int argc, char** argv) {
     } else if (a.rfind("--seed=", 0) == 0) {
       seed = static_cast<std::uint64_t>(
           std::atoll(std::string(a.substr(7)).c_str()));
+    } else if (a == "--meta") {
+      meta = true;
+    } else if (a == "--profile") {
+      profile = true;
     } else {
       std::cerr << "usage: record_run [--out=trace.jsonl] [--cca=cubic|bbr] "
-                   "[--rate=MBPS] [--duration=SECS] [--seed=N]\n";
+                   "[--rate=MBPS] [--duration=SECS] [--seed=N] [--meta] "
+                   "[--profile]\n";
       return 2;
     }
   }
@@ -60,12 +73,18 @@ int main(int argc, char** argv) {
   ObsOptions obs;
   obs.record = true;
   obs.trace_path = out_path;
+  obs.trace_meta = meta;
 
+  if (profile) Profiler::instance().enable();
   auto net = run_scenario(s, {{factory}}, seed, obs);
   RunSummary summary = summarize(*net, sec(1), s.duration);
 
   std::cerr << "recorded " << net->recorder().recorded() << " events to "
             << out_path << "\n";
   std::cout << to_json(summary) << "\n";
+  if (profile) {
+    Profiler::instance().disable();
+    std::cerr << "\n" << Profiler::instance().text_report();
+  }
   return 0;
 }

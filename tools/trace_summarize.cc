@@ -6,8 +6,11 @@
 //   trace_summarize --warmup=2 [--horizon=SECS] trace1.jsonl [trace2.jsonl...]
 //
 // Throughput and delay over [warmup, horizon) reproduce the bench's printed
-// run summary, because both derive from the same per-ACK event stream.
-// Exits non-zero if any input yields no events (truncated/empty trace).
+// run summary, because both derive from the same per-ACK event stream. When
+// the trace was recorded with trace_meta on, the end-of-run "run" event's
+// wall/sim times are reported as a simulation speed ratio.
+// Exits non-zero if any input yields no events (truncated/empty trace) or
+// contains unparseable lines (corrupt/truncated mid-write).
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -80,6 +83,7 @@ int summarize_file(const std::string& path, double warmup_s, double horizon_s) {
   std::map<int, FlowStats> flows;
   double max_t = 0;
   std::int64_t total_events = 0, parse_errors = 0;
+  double run_wall_s = 0, run_sim_s = 0;  // from the optional "run" meta event
 
   std::string line;
   while (std::getline(in, line)) {
@@ -98,6 +102,11 @@ int summarize_file(const std::string& path, double warmup_s, double horizon_s) {
     find_number(line, "flow", flow_d);
     int flow = static_cast<int>(flow_d);
 
+    if (ev == "run") {  // end-of-run metadata, not a flow event
+      find_number(line, "wall_s", run_wall_s);
+      find_number(line, "sim_s", run_sim_s);
+      continue;
+    }
     if (ev == "drop") {
       std::string_view reason;
       if (find_raw(line, "reason", reason)) ++drop_reasons[std::string(reason)];
@@ -141,9 +150,9 @@ int summarize_file(const std::string& path, double warmup_s, double horizon_s) {
     drops.print();
   }
 
-  libra::Table per_flow({"flow", "acks", "throughput (Mbps)", "rtt p50 (ms)",
-                         "rtt p90 (ms)", "rtt p99 (ms)", "rtt mean (ms)",
-                         "loss rate"});
+  libra::Table per_flow({"flow", "sends", "acks", "losses", "throughput (Mbps)",
+                         "rtt p50 (ms)", "rtt p90 (ms)", "rtt p99 (ms)",
+                         "rtt mean (ms)", "loss rate"});
   double total_thr = 0, rtt_weighted = 0;
   std::int64_t rtt_samples = 0;
   for (auto& [flow, f] : flows) {
@@ -157,7 +166,8 @@ int summarize_file(const std::string& path, double warmup_s, double horizon_s) {
     double loss_rate = denom > 0 ? static_cast<double>(f.losses) / denom : 0;
     rtt_weighted += mean * static_cast<double>(f.acks);
     rtt_samples += f.acks;
-    per_flow.add_row({std::to_string(flow), std::to_string(f.acks),
+    per_flow.add_row({std::to_string(flow), std::to_string(f.sends),
+                      std::to_string(f.acks), std::to_string(f.losses),
                       libra::fmt(thr, 2), libra::fmt(percentile(f.rtts_ms, 50), 1),
                       libra::fmt(percentile(f.rtts_ms, 90), 1),
                       libra::fmt(percentile(f.rtts_ms, 99), 1), libra::fmt(mean, 1),
@@ -170,8 +180,16 @@ int summarize_file(const std::string& path, double warmup_s, double horizon_s) {
       rtt_samples > 0 ? rtt_weighted / static_cast<double>(rtt_samples) : 0;
   std::cout << "\ntotal: throughput " << libra::fmt(total_thr, 2) << " Mbps, avg delay "
             << libra::fmt(avg_delay, 1) << " ms\n";
-  if (parse_errors > 0)
-    std::cerr << "warning: " << parse_errors << " unparseable lines skipped\n";
+  if (run_wall_s > 0) {
+    std::cout << "speed: " << libra::fmt(run_sim_s, 1) << " sim s in "
+              << libra::fmt(run_wall_s, 3) << " wall s ("
+              << libra::fmt(run_sim_s / run_wall_s, 1) << "x real time)\n";
+  }
+  if (parse_errors > 0) {
+    std::cerr << "error: " << parse_errors
+              << " unparseable lines (corrupt or truncated trace)\n";
+    return 1;
+  }
   return 0;
 }
 
