@@ -91,5 +91,61 @@ int main(int argc, char** argv) {
   tt.add_row({"parallel", std::to_string(default_pool().thread_count()),
               fmt(parallel_s, 2), fmt(kEpisodes / parallel_s, 2)});
   tt.print();
+
+  // --- Batched inference on a paper-scale (2x512) policy --------------------
+  // Per-state act_greedy streams every weight matrix (2 MB per hidden layer)
+  // from memory for each decision; BatchedPolicyEval amortizes each traversal
+  // over a whole batch. Results are bitwise identical, so the speedup is free.
+  {
+    PpoConfig wide = make_ppo_config(cfg, 9, {512, 512});
+    auto brain = std::make_shared<RlBrain>(wide, feature_frame_size(cfg.features));
+    Rng srng(31);
+    for (int i = 0; i < 100; ++i) {
+      Vector frame(brain->normalizer.dim());
+      for (double& v : frame) v = srng.uniform(-2.0, 2.0);
+      brain->normalizer.update(frame);
+    }
+    const std::size_t kStates = 4096;
+    std::vector<Vector> raw(kStates, Vector(wide.state_dim));
+    for (Vector& st : raw)
+      for (double& v : st) v = srng.uniform(-3.0, 3.0);
+
+    // Per-state baseline: normalize per frame, then act_greedy (sunk cost of
+    // the batched path included for a like-for-like comparison).
+    const std::size_t frame = brain->normalizer.dim();
+    Vector state(wide.state_dim), f(frame);
+    double sink = 0;
+    auto per_state = [&] {
+      for (const Vector& st : raw) {
+        for (std::size_t off = 0; off < st.size(); off += frame) {
+          f.assign(st.begin() + static_cast<std::ptrdiff_t>(off),
+                   st.begin() + static_cast<std::ptrdiff_t>(off + frame));
+          brain->normalizer.normalize_into(f, state.data() + off);
+        }
+        sink += brain->agent.act_greedy(state);
+      }
+    };
+    per_state();  // warm-up
+    double base_s = wall_seconds(per_state);
+
+    section("Batched greedy inference (state_dim=" +
+            std::to_string(wide.state_dim) + ", hidden 512x512, " +
+            std::to_string(kStates) + " states)");
+    Table bt({"path", "batch", "us/state", "speedup"});
+    const double base_us = 1e6 * base_s / static_cast<double>(kStates);
+    bt.add_row({"act_greedy", "1", fmt(base_us, 2), "1.00x"});
+    for (std::size_t batch : {16u, 64u, 256u}) {
+      BatchedPolicyEval eval(brain, batch);
+      Vector out;
+      eval.evaluate(raw, out);  // warm-up
+      double batch_s = wall_seconds([&] { eval.evaluate(raw, out); });
+      sink += out.front();
+      const double us = 1e6 * batch_s / static_cast<double>(kStates);
+      bt.add_row({"BatchedPolicyEval", std::to_string(batch), fmt(us, 2),
+                  fmt(base_us / us, 2) + "x"});
+    }
+    bt.print();
+    if (sink == 42.0) return 1;  // defeat dead-code elimination
+  }
   return 0;
 }

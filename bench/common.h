@@ -101,9 +101,13 @@ inline CcaZoo& zoo() {
 /// benches, where the model width is the quantity under measurement. Lightly
 /// trained: decision *cost* is architecture-determined, not policy-determined.
 inline CcaZoo& wide_zoo() {
-  static CcaZoo instance{ZooConfig{.brain_dir = "brains-w512",
-                                   .train_episodes = 30,
-                                   .hidden_width = 512}};
+  static CcaZoo instance = [] {
+    ZooConfig cfg;
+    cfg.brain_dir = "brains-w512";
+    cfg.train_episodes = 30;
+    cfg.hidden_width = 512;
+    return CcaZoo(cfg);
+  }();
   return instance;
 }
 

@@ -69,8 +69,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # concurrent metrics merges, logger sinks, and the profiler's thread-local
   # trees + report-time merge); building the whole tree under TSan is
   # unnecessary for the guarantee and triples the cycle time.
-  cmake --build build-tsan -j "$JOBS" --target parallel_test sim_test util_test obs_test profiler_test rl_test
-  (cd build-tsan && ./tests/parallel_test && ./tests/sim_test && ./tests/util_test && ./tests/obs_test && ./tests/profiler_test && ./tests/rl_test)
+  cmake --build build-tsan -j "$JOBS" --target parallel_test multiflow_train_test sim_test util_test obs_test profiler_test rl_test
+  (cd build-tsan && ./tests/parallel_test && ./tests/multiflow_train_test && ./tests/sim_test && ./tests/util_test && ./tests/obs_test && ./tests/profiler_test && ./tests/rl_test)
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then

@@ -130,17 +130,24 @@ void Bbr::on_ack(const AckEvent& ack) {
       advance_cycle_phase(ack.now, ack.bytes_in_flight);
       break;
     case Mode::kProbeRtt:
-      if (ack.now >= probe_rtt_done_) {
-        min_rtt_stamp_ = ack.now;  // revalidated
-        if (mode_before_probe_rtt_ == Mode::kProbeBw || full_bw_reached_) {
-          enter_probe_bw(ack.now);
-        } else {
-          mode_ = Mode::kStartup;
-          pacing_gain_ = params_.startup_gain;
-          record_mode(ack.now);
-        }
-      }
+      maybe_exit_probe_rtt(ack.now);
       break;
+  }
+}
+
+void Bbr::maybe_exit_probe_rtt(SimTime now) {
+  // One exit path for both the ACK-driven and the timer-driven (ACK-silent
+  // outage) checks; the guards used to differ subtly between the two.
+  if (mode_ != Mode::kProbeRtt || probe_rtt_done_ == 0 || now < probe_rtt_done_)
+    return;
+  min_rtt_stamp_ = now;  // revalidated
+  probe_rtt_done_ = 0;
+  if (mode_before_probe_rtt_ == Mode::kProbeBw || full_bw_reached_) {
+    enter_probe_bw(now);
+  } else {
+    mode_ = Mode::kStartup;
+    pacing_gain_ = params_.startup_gain;
+    record_mode(now);
   }
 }
 
@@ -155,16 +162,7 @@ void Bbr::on_loss(const LossEvent& loss) {
 
 void Bbr::on_tick(SimTime now) {
   // Exit a ProbeRTT that elapsed while no ACKs arrived (e.g. LTE outage).
-  if (mode_ == Mode::kProbeRtt && now >= probe_rtt_done_ && probe_rtt_done_ > 0) {
-    min_rtt_stamp_ = now;
-    if (mode_before_probe_rtt_ == Mode::kProbeBw || full_bw_reached_) {
-      enter_probe_bw(now);
-    } else {
-      mode_ = Mode::kStartup;
-      pacing_gain_ = params_.startup_gain;
-      record_mode(now);
-    }
-  }
+  maybe_exit_probe_rtt(now);
 }
 
 }  // namespace libra

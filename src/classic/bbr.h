@@ -45,6 +45,9 @@ class Bbr final : public CongestionControl {
   void record_mode(SimTime now) const {
     record_cca_event(now, 1, static_cast<double>(mode_), pacing_gain_);
   }
+  /// Leaves PROBE_RTT once its dwell elapsed — shared by the ACK path and the
+  /// tick path (ACK-silent outages), so their guards cannot drift apart.
+  void maybe_exit_probe_rtt(SimTime now);
   void enter_probe_bw(SimTime now);
   void advance_cycle_phase(SimTime now, std::int64_t bytes_in_flight);
   void check_full_bandwidth();

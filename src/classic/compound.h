@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "classic/loss_epoch.h"
+#include "classic/rtt_guard.h"
 #include "sim/congestion_control.h"
 
 namespace libra {
@@ -37,10 +38,11 @@ class CompoundTcp final : public CongestionControl {
       cwnd_ += params_.mss * params_.mss / std::max<std::int64_t>(cwnd_, params_.mss);
     }
 
-    // Delay-based component, adjusted once per RTT.
+    // Delay-based component, adjusted once per RTT. An ACK without usable RTT
+    // samples must not consume the adjustment slot (it carries no signal).
+    if (!has_rtt_samples(ack)) return;
     if (last_adjust_ != 0 && ack.now - last_adjust_ < ack.rtt) return;
     last_adjust_ = ack.now;
-    if (ack.min_rtt <= 0 || ack.rtt <= 0) return;
 
     double win_pkts = static_cast<double>(window()) / params_.mss;
     double expected = win_pkts / to_seconds(ack.min_rtt);

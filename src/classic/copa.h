@@ -4,6 +4,7 @@
 #pragma once
 
 #include "classic/loss_epoch.h"
+#include "classic/rtt_guard.h"
 #include "sim/congestion_control.h"
 #include "util/windowed_filter.h"
 
@@ -23,6 +24,8 @@ class Copa final : public CongestionControl {
   void on_packet_sent(const SendEvent& ev) override { epoch_.on_sent(ev.seq); }
 
   void on_ack(const AckEvent& ack) override {
+    // A zero standing RTT would make current_rate below infinite.
+    if (!has_rtt_samples(ack)) return;
     // Standing RTT: min over the last srtt/2 — rides below jitter but tracks
     // the persistent queue.
     rtt_standing_.update(ack.rtt, ack.now);

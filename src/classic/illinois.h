@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "classic/loss_epoch.h"
+#include "classic/rtt_guard.h"
 #include "sim/congestion_control.h"
 
 namespace libra {
@@ -28,11 +29,20 @@ class Illinois final : public CongestionControl {
   void on_packet_sent(const SendEvent& ev) override { epoch_.on_sent(ev.seq); }
 
   void on_ack(const AckEvent& ack) override {
-    if (ack.rtt > max_rtt_) max_rtt_ = ack.rtt;
-    avg_rtt_ += (static_cast<double>(ack.rtt) - avg_rtt_) / 16.0;
+    if (has_rtt_samples(ack)) {
+      if (ack.rtt > max_rtt_) max_rtt_ = ack.rtt;
+      avg_rtt_ += (static_cast<double>(ack.rtt) - avg_rtt_) / 16.0;
+    }
 
     if (cwnd_ < ssthresh_) {
       cwnd_ += params_.mss;
+      return;
+    }
+
+    // No usable delay signal yet: plain Reno additive increase until the RTT
+    // trackers have real samples to adapt alpha/beta from.
+    if (!has_rtt_samples(ack) || avg_rtt_ <= 0) {
+      cwnd_ += params_.mss * params_.mss / std::max<std::int64_t>(cwnd_, params_.mss);
       return;
     }
 

@@ -1,0 +1,24 @@
+// Shared RTT-sample validity guard for the delay-based classic CCAs.
+//
+// The first ACKs of a flow can arrive before the sender has a minimum-RTT
+// estimate (ack.min_rtt == 0), and synthetic/unit-test ACK streams may carry a
+// zeroed rtt. Every delay-based algorithm divides by one of these values —
+// Vegas/Compound by min_rtt, Copa by the standing RTT, Illinois by the delay
+// spread — so an unset sample turns directly into a NaN/Inf rate or window.
+// Each algorithm used to guard (or not) in its own way; they all route through
+// this one predicate now.
+#pragma once
+
+#include "sim/congestion_control.h"
+
+namespace libra {
+
+/// True when the ACK carries usable RTT samples: both the latest RTT and the
+/// sender's lifetime minimum are set (> 0). Delay-based control laws must
+/// skip their delay math — falling back to their loss-based/neutral behaviour
+/// — until this holds.
+inline bool has_rtt_samples(const AckEvent& ack) {
+  return ack.rtt > 0 && ack.min_rtt > 0;
+}
+
+}  // namespace libra

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "classic/rtt_guard.h"
 #include "sim/congestion_control.h"
 #include "util/ewma.h"
 
@@ -23,6 +24,10 @@ class SproutEwma final : public CongestionControl {
 
   void on_ack(const AckEvent& ack) override {
     if (ack.delivery_rate > 0) capacity_est_.update(ack.delivery_rate);
+    // Without usable RTT samples the queueing-delay term is meaningless
+    // (rtt - min_rtt of a first ACK with unset min_rtt reads as a huge
+    // excess); keep the previous control setting until samples are real.
+    if (!has_rtt_samples(ack)) return;
     // Proportional controller on queueing delay: pace at the forecast
     // capacity scaled down as the queue approaches the delay target, with
     // only gentle headroom above the forecast when the queue is empty.

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "classic/loss_epoch.h"
+#include "classic/rtt_guard.h"
 #include "sim/congestion_control.h"
 
 namespace libra {
@@ -22,7 +23,7 @@ class Vegas final : public CongestionControl {
   void on_packet_sent(const SendEvent& ev) override { epoch_.on_sent(ev.seq); }
 
   void on_ack(const AckEvent& ack) override {
-    if (ack.min_rtt <= 0 || ack.rtt <= 0) return;
+    if (!has_rtt_samples(ack)) return;
     // Adjust once per RTT: gate on time since the last adjustment.
     if (last_adjust_ != 0 && ack.now - last_adjust_ < ack.rtt) {
       if (in_slow_start_) cwnd_ += params_.mss;

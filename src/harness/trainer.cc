@@ -1,11 +1,14 @@
 #include "harness/trainer.h"
 
+#include "classic/bbr.h"
+#include "classic/cubic.h"
 #include "core/libra.h"
 #include "harness/parallel.h"
 #include "learned/orca.h"
 #include "learned/rl_cca.h"
 #include "obs/json.h"
 #include "obs/profiler.h"
+#include "stats/fairness.h"
 
 namespace libra {
 
@@ -33,16 +36,98 @@ Scenario Trainer::sample_env(std::uint64_t& run_seed) {
   return env;
 }
 
+std::vector<Trainer::CompetitorSpec> Trainer::sample_competitors(
+    const RlBrain* brain) {
+  const CompetitorMix& mix = ranges_.competitors;
+  if (mix.max_flows <= 0) return {};  // consume no draws: legacy RNG stream
+  if (mix.min_flows < 0 || mix.min_flows > mix.max_flows)
+    throw std::invalid_argument("CompetitorMix: bad [min_flows, max_flows]");
+  const double total = mix.w_cubic + mix.w_bbr + mix.w_self;
+  if (total <= 0)
+    throw std::invalid_argument("CompetitorMix: kind weights sum to zero");
+
+  const int n = static_cast<int>(rng_.uniform_int(mix.min_flows, mix.max_flows));
+  std::vector<CompetitorSpec> specs;
+  specs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    CompetitorSpec spec;
+    const double u = rng_.uniform(0.0, total);
+    if (u < mix.w_cubic) {
+      spec.kind = CompetitorKind::kCubic;
+    } else if (u < mix.w_cubic + mix.w_bbr) {
+      spec.kind = CompetitorKind::kBbr;
+    } else {
+      spec.kind = CompetitorKind::kSelf;
+    }
+    spec.start = mix.max_stagger > 0 ? rng_.uniform_int(0, mix.max_stagger) : 0;
+    if (spec.kind == CompetitorKind::kSelf) {
+      if (!brain)
+        throw std::invalid_argument(
+            "Trainer: self-play competitors (w_self > 0) require "
+            "train_parallel, which holds the brain to snapshot");
+      // Frozen snapshot of the current policy: own RNG stream (drawn here, on
+      // the main thread), collect_only so it can never update, and a frozen-
+      // reference normalizer. Its transitions and normalizer delta are
+      // discarded at episode end — only the learner teaches the master brain.
+      PpoConfig cfg = brain->agent.config();
+      cfg.seed = static_cast<std::uint64_t>(rng_.uniform_int(1, 1'000'000'000));
+      cfg.collect_only = true;
+      spec.self_brain =
+          std::make_shared<RlBrain>(std::move(cfg), brain->normalizer.dim());
+      spec.self_brain->agent.copy_parameters_from(brain->agent);
+      spec.self_brain->normalizer = brain->normalizer;
+      spec.self_brain->normalizer.begin_delta_collection();
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
 EpisodeStats Trainer::run_in_env(const Scenario& env, const CcaFactory& make_cca,
-                                 std::uint64_t run_seed) {
-  auto net = run_scenario(env, {{make_cca}}, run_seed);
+                                 std::uint64_t run_seed,
+                                 const std::vector<CompetitorSpec>& competitors,
+                                 const BrainBoundFactory* self_factory) {
+  std::vector<FlowSpec> flows;
+  flows.reserve(1 + competitors.size());
+  flows.push_back({make_cca});  // the learner is always flow 0
+  for (const CompetitorSpec& c : competitors) {
+    FlowSpec f;
+    f.start = c.start;
+    switch (c.kind) {
+      case CompetitorKind::kCubic:
+        f.make_cca = [] { return std::make_unique<Cubic>(); };
+        break;
+      case CompetitorKind::kBbr:
+        f.make_cca = [] { return std::make_unique<Bbr>(); };
+        break;
+      case CompetitorKind::kSelf: {
+        if (!self_factory)
+          throw std::invalid_argument(
+              "Trainer: self-play competitor without a brain-bound factory");
+        std::shared_ptr<RlBrain> snapshot = c.self_brain;
+        const BrainBoundFactory& make = *self_factory;
+        f.make_cca = [snapshot, &make] { return make(snapshot); };
+        break;
+      }
+    }
+    flows.push_back(std::move(f));
+  }
+  auto net = run_scenario(env, flows, run_seed);
 
   EpisodeStats stats;
   RunSummary sum = summarize(*net, 0, env.duration);
   stats.throughput_bps = sum.total_throughput_bps;
-  stats.avg_rtt_ms = sum.avg_delay_ms;
+  stats.avg_rtt_ms = sum.flows.front().avg_rtt_ms;
   stats.loss_rate = sum.flows.front().loss_rate;
   stats.link_utilization = sum.link_utilization;
+  stats.competitors = static_cast<int>(competitors.size());
+  stats.learner_throughput_bps = sum.flows.front().throughput_bps;
+  if (sum.flows.size() > 1) {
+    std::vector<double> rates;
+    rates.reserve(sum.flows.size());
+    for (const FlowSummary& f : sum.flows) rates.push_back(f.throughput_bps);
+    stats.fairness = jain_index(rates);
+  }
   if (auto r = episode_reward_of(net->flow(0).sender().cca())) {
     stats.reward = r->first;
     stats.steps = r->second;
@@ -53,7 +138,8 @@ EpisodeStats Trainer::run_in_env(const Scenario& env, const CcaFactory& make_cca
 EpisodeStats Trainer::run_episode(const CcaFactory& make_cca) {
   std::uint64_t run_seed = 0;
   Scenario env = sample_env(run_seed);
-  return run_in_env(env, make_cca, run_seed);
+  std::vector<CompetitorSpec> competitors = sample_competitors(nullptr);
+  return run_in_env(env, make_cca, run_seed, competitors);
 }
 
 void Trainer::emit_episode(int index, const EpisodeStats& stats) {
@@ -69,6 +155,9 @@ void Trainer::emit_episode(int index, const EpisodeStats& stats) {
   w.key("avg_rtt_ms").value(stats.avg_rtt_ms);
   w.key("loss_rate").value(stats.loss_rate);
   w.key("link_utilization").value(stats.link_utilization);
+  w.key("competitors").value(static_cast<std::int64_t>(stats.competitors));
+  w.key("learner_throughput_bps").value(stats.learner_throughput_bps);
+  w.key("fairness").value(stats.fairness);
   w.end_object();
   telemetry_->write_line(line);
 }
@@ -93,6 +182,7 @@ std::vector<EpisodeStats> Trainer::train_parallel(
     Scenario env;
     std::uint64_t run_seed = 0;
     std::shared_ptr<RlBrain> collector;
+    std::vector<CompetitorSpec> competitors;
     EpisodeStats stats;
     std::vector<PpoTransition> rollout;
     RunningNormalizer norm_delta{1};
@@ -135,6 +225,7 @@ std::vector<EpisodeStats> Trainer::train_parallel(
     // depends on the pool's thread count.
     for (EpisodeJob& job : jobs) {
       job.env = sample_env(job.run_seed);
+      job.competitors = sample_competitors(brain.get());
       PpoConfig cfg = brain->agent.config();
       cfg.seed = static_cast<std::uint64_t>(rng_.uniform_int(1, 1'000'000'000));
       cfg.collect_only = true;
@@ -152,7 +243,7 @@ std::vector<EpisodeStats> Trainer::train_parallel(
       EpisodeJob& job = jobs[i];
       job.stats = run_in_env(
           job.env, [&job, &make_cca] { return make_cca(job.collector); },
-          job.run_seed);
+          job.run_seed, job.competitors, &make_cca);
       job.rollout = job.collector->agent.take_transitions(/*mark_final_done=*/true);
       job.norm_delta = job.collector->normalizer.take_delta();
     });

@@ -108,6 +108,7 @@ std::shared_ptr<RlBrain> CcaZoo::train_or_load(const std::string& family) {
   // the Libra-paper env randomizes loss up to 10%, which is pure reward noise
   // for an agent that cannot influence it.
   TrainEnvRanges ranges;
+  ranges.competitors = config_.train_competitors;
   if (family == "aurora") ranges.loss_hi = 0.05;
 
   auto train = [&] {

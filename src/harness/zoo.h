@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness/runner.h"
+#include "harness/trainer.h"
 #include "learned/rl_cca.h"
 #include "util/thread_pool.h"
 
@@ -36,6 +37,10 @@ struct ZooConfig {
   /// `<brain_dir>/<family>.train.jsonl` while training. Needs brain_dir;
   /// pure observation — the trained weights are identical either way.
   bool train_telemetry = true;
+  /// Competitor flows sharing the training bottleneck (see CompetitorMix).
+  /// Default off, reproducing single-flow training bit-for-bit; training with
+  /// competitors is what teaches the paper's fairness behaviour (Sec. 5).
+  CompetitorMix train_competitors;
 };
 
 class CcaZoo {

@@ -36,19 +36,26 @@ class RunningNormalizer {
   /// used, so concurrent episodes normalize identically regardless of what
   /// they accumulate locally.
   Vector normalize(const Vector& sample, double clip = 10.0) const {
+    Vector out(sample.size());
+    normalize_into(sample, out.data(), clip);
+    return out;
+  }
+
+  /// normalize() into a caller-owned buffer — the allocation-free form the
+  /// batched inference path uses to fill workspace rows in place.
+  void normalize_into(const Vector& sample, double* out,
+                      double clip = 10.0) const {
     if (sample.size() != mean_.size())
       throw std::invalid_argument("RunningNormalizer: dim mismatch");
     const Vector& mean = delta_mode_ ? ref_mean_ : mean_;
     const Vector& m2 = delta_mode_ ? ref_m2_ : m2_;
     const std::size_t n = delta_mode_ ? ref_n_ : n_;
-    Vector out(sample.size());
     for (std::size_t i = 0; i < sample.size(); ++i) {
       double var = n > 1 ? m2[i] / static_cast<double>(n - 1) : 1.0;
       double sd = std::sqrt(var);
       double z = sd > 1e-9 ? (sample[i] - mean[i]) / sd : 0.0;
       out[i] = std::clamp(z, -clip, clip);
     }
-    return out;
   }
 
   /// Enters rollout-collection mode: the current statistics become a frozen

@@ -74,6 +74,10 @@ class CodelQueue {
 
   std::int64_t queue_bytes() const { return queue_bytes_; }
   std::int64_t codel_drops() const { return codel_drops_; }
+  /// Current control-law count (observability for the RFC 8289 §4.2
+  /// re-entry tests); 0 until the first dropping episode.
+  std::int64_t codel_drop_count() const { return drop_count_; }
+  bool codel_dropping() const { return dropping_; }
 
  private:
   void schedule_dequeue() {
@@ -94,6 +98,7 @@ class CodelQueue {
   /// CoDel's decision point is at *dequeue*: examine the head's sojourn time
   /// and possibly drop it (repeatedly) before forwarding the survivor.
   void dequeue_head() {
+    PROF_SCOPE("aqm.dequeue");
     while (!queue_.empty()) {
       Packet pkt = queue_.front();
       queue_.pop_front();
@@ -134,18 +139,25 @@ class CodelQueue {
       if (now < first_above_) return false;
       // Sojourn exceeded target for a full interval: start dropping.
       dropping_ = true;
-      // Control-law memory: restart close to the last drop rate if we were
-      // dropping recently.
-      drop_count_ = (now - drop_next_ < 16 * config_.interval && drop_count_ > 2)
-                        ? drop_count_ - 2
+      // Control-law memory (RFC 8289 §4.2 / Appendix A): if dropping stopped
+      // only recently, restart from the drop *rate added by the previous
+      // dropping episode* (count - lastcount), not from the stale absolute
+      // count; after a long non-dropping interval restart from 1.
+      std::int64_t delta = drop_count_ - last_count_;
+      drop_count_ = (delta > 1 && now - drop_next_ < 16 * config_.interval)
+                        ? delta
                         : 1;
       drop_next_ = now + control_law(config_.interval, drop_count_);
+      last_count_ = drop_count_;
       return true;
     }
 
     if (now >= drop_next_) {
       ++drop_count_;
-      drop_next_ = now + control_law(config_.interval, drop_count_);
+      // Schedule from the previous deadline, not from now: late dequeues must
+      // not stretch the drop cadence below what the control law demands
+      // (RFC 8289 Appendix A re-runs the law on drop_next_).
+      drop_next_ += control_law(config_.interval, drop_count_);
       return true;
     }
     return false;
@@ -171,6 +183,7 @@ class CodelQueue {
   SimTime first_above_ = 0;
   SimTime drop_next_ = 0;
   std::int64_t drop_count_ = 0;
+  std::int64_t last_count_ = 0;  // count at the last dropping-state entry
   std::int64_t codel_drops_ = 0;
 };
 

@@ -57,6 +57,103 @@ TEST(Codel, DropsWhenSojournPersistsAboveTarget) {
   EXPECT_GT(link.codel_drops(), 0);
 }
 
+TEST(Codel, ReentryAfterLongGapRestartsCount) {
+  // RFC 8289 §4.2: control-law memory across dropping episodes expires after
+  // 16 x interval of not dropping. An episode that starts long after the
+  // previous one must restart from count == 1, not reuse the stale count.
+  EventQueue q;
+  CodelQueue link(q, codel_link(mbps(2)));
+  link.set_deliver([](const Packet&) {});
+  link.set_drop([](const Packet&) {});
+  std::uint64_t seq = 0;
+  // 6 Mbps into a 2 Mbps queue for 3 s: the drop cadence escalates.
+  for (int i = 0; i < 1500; ++i) {
+    Packet p;
+    p.seq = seq++;
+    q.run_until(msec(2) * i);
+    link.send(p);
+  }
+  q.run_until(sec(10));  // drain completely
+  ASSERT_GT(link.codel_drop_count(), 1);
+  ASSERT_FALSE(link.codel_dropping());
+
+  // Idle far past 16 x interval (1.6 s), then saturate again and stop at the
+  // instant dropping re-engages.
+  const SimTime resume = sec(12);
+  bool reentered = false;
+  for (int i = 0; i < 1500 && !reentered; ++i) {
+    Packet p;
+    p.seq = seq++;
+    q.run_until(resume + msec(2) * i);
+    link.send(p);
+    reentered = link.codel_dropping();
+  }
+  ASSERT_TRUE(reentered);
+  EXPECT_EQ(link.codel_drop_count(), 1);
+}
+
+TEST(Codel, QuickReentryResumesFasterCadence) {
+  // RFC 8289 §4.2: a dropping episode that begins shortly after the previous
+  // one ended resumes from the drop rate the previous episode added
+  // (count - lastcount), so persistent overload escalates across brief
+  // below-target dips instead of probing up from scratch every time.
+  EventQueue q;
+  CodelConfig cfg = codel_link(mbps(2));
+  cfg.buffer_bytes = 30'000;  // small backlog => the queue can drain quickly
+  CodelQueue link(q, std::move(cfg));
+  link.set_deliver([](const Packet&) {});
+  link.set_drop([](const Packet&) {});
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 1500; ++i) {
+    Packet p;
+    p.seq = seq++;
+    q.run_until(msec(2) * i);
+    link.send(p);
+  }
+  ASSERT_TRUE(link.codel_dropping());
+  // Track the count while the episode winds down (the queue drains in
+  // ~120 ms once the load stops).
+  std::int64_t at_exit = link.codel_drop_count();
+  SimTime t = sec(3);
+  while (link.codel_dropping() && t < sec(4)) {
+    at_exit = link.codel_drop_count();
+    t += msec(5);
+    q.run_until(t);
+  }
+  ASSERT_FALSE(link.codel_dropping());
+  ASSERT_GT(at_exit, 2);
+
+  // Saturate again immediately: re-entry lands well inside the 16-interval
+  // window, so the episode resumes with count > 1 (bounded by the previous
+  // episode's contribution).
+  bool reentered = false;
+  for (int i = 0; i < 1500 && !reentered; ++i) {
+    Packet p;
+    p.seq = seq++;
+    q.run_until(t + msec(2) * i);
+    link.send(p);
+    reentered = link.codel_dropping();
+  }
+  ASSERT_TRUE(reentered);
+  EXPECT_GT(link.codel_drop_count(), 1);
+  EXPECT_LE(link.codel_drop_count(), at_exit);
+}
+
+TEST(Compound, ZeroRttAckDoesNotConsumeAdjustmentSlot) {
+  // Regression for the shared RTT guard: an ACK without RTT samples must not
+  // stamp the once-per-RTT delay-adjustment slot. With the bug, the real ACK
+  // right behind it was skipped and the delay window stayed frozen.
+  CompoundTcp cc;
+  AckEvent degenerate{msec(1), 0, msec(1), /*rtt=*/0, kMss, 0, mbps(10),
+                      /*min_rtt=*/0};
+  cc.on_ack(degenerate);
+  EXPECT_EQ(cc.delay_window(), 0);
+  AckEvent real{msec(2), 1, msec(2) - msec(50), msec(50), kMss, 0, mbps(10),
+                msec(50)};
+  cc.on_ack(real);
+  EXPECT_GT(cc.delay_window(), 0);
+}
+
 TEST(Codel, KeepsCubicDelayLow) {
   // The Sec. 2 claim: CUBIC + CoDel achieves low queueing delay (at the cost
   // of in-network support). Compare against droptail with a deep buffer.

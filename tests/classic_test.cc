@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "classic/bbr.h"
 #include "classic/copa.h"
 #include "classic/cubic.h"
@@ -237,6 +239,49 @@ TEST(Bbr, ProbeRttShrinksCwnd) {
   EXPECT_EQ(bbr.cwnd_bytes(), 4 * kMss);
 }
 
+// Drives a BBR into PROBE_RTT and returns the time just after entry.
+SimTime drive_to_probe_rtt(Bbr& bbr, std::uint64_t& seq, SimTime t) {
+  while (bbr.mode() != Bbr::Mode::kProbeRtt && t < sec(5)) {
+    bbr.on_packet_sent({t, seq, kMss, 10 * kMss});
+    bbr.on_ack(ack_at(t, seq, msec(60), msec(50), mbps(10)));
+    ++seq;
+    t += msec(5);
+  }
+  return t;
+}
+
+TEST(Bbr, ProbeRttExitsOnTickWithoutAcks) {
+  // Regression: the ACK-silent exit path. If the connection goes quiet while
+  // in PROBE_RTT (outage, app-limited lull), the dwell timer alone must end
+  // the probe — previously only the tick path checked probe_rtt_done_ with
+  // its own guard, and the two copies could drift.
+  BbrParams params;
+  params.min_rtt_window = msec(200);
+  Bbr bbr(params);
+  std::uint64_t seq = 0;
+  SimTime t = drive_to_probe_rtt(bbr, seq, 0);
+  ASSERT_EQ(bbr.mode(), Bbr::Mode::kProbeRtt);
+  // No ACKs from here on: ticks alone must exit once the 200 ms dwell passes.
+  bbr.on_tick(t + msec(100));
+  EXPECT_EQ(bbr.mode(), Bbr::Mode::kProbeRtt);  // dwell not yet served
+  bbr.on_tick(t + params.probe_rtt_duration + msec(50));
+  EXPECT_NE(bbr.mode(), Bbr::Mode::kProbeRtt);
+}
+
+TEST(Bbr, ProbeRttExitsOnAck) {
+  // The ACK path must exit through the same consolidated logic.
+  BbrParams params;
+  params.min_rtt_window = msec(200);
+  Bbr bbr(params);
+  std::uint64_t seq = 0;
+  SimTime t = drive_to_probe_rtt(bbr, seq, 0);
+  ASSERT_EQ(bbr.mode(), Bbr::Mode::kProbeRtt);
+  t += params.probe_rtt_duration + msec(50);
+  bbr.on_packet_sent({t, seq, kMss, 2 * kMss});
+  bbr.on_ack(ack_at(t, seq, msec(50), msec(50), mbps(10)));
+  EXPECT_NE(bbr.mode(), Bbr::Mode::kProbeRtt);
+}
+
 TEST(Bbr, IgnoresIndividualLosses) {
   Bbr bbr;
   std::uint64_t seq = 0;
@@ -347,6 +392,47 @@ TEST(SproutEwma, BacksOffAboveTargetDelay) {
   for (int i = 0; i < 50; ++i)
     cc.on_ack(ack_at(msec(20) * i, static_cast<std::uint64_t>(i), msec(250), msec(50), mbps(10)));
   EXPECT_LT(cc.pacing_rate(), mbps(8));
+}
+
+// Regression suite for the shared has_rtt_samples() guard: a first ACK whose
+// rtt/min_rtt are still unset (zero) must not poison any delay-based
+// controller with NaN/Inf rates or a consumed once-per-RTT adjustment slot.
+template <typename Cca>
+void expect_survives_zero_rtt_first_ack() {
+  Cca cc;
+  // Degenerate first ACK: no RTT samples yet (rtt = min_rtt = 0).
+  cc.on_ack(ack_at(msec(1), 0, /*rtt=*/0, /*min_rtt=*/0));
+  EXPECT_TRUE(std::isfinite(cc.pacing_rate())) << cc.name();
+  EXPECT_GE(cc.pacing_rate(), 0.0) << cc.name();
+  EXPECT_GT(cc.cwnd_bytes(), 0) << cc.name();
+  // Real samples afterwards: the controller must still operate normally.
+  for (int i = 1; i < 30; ++i)
+    cc.on_ack(ack_at(msec(10) * i, static_cast<std::uint64_t>(i)));
+  EXPECT_TRUE(std::isfinite(cc.pacing_rate())) << cc.name();
+  EXPECT_GT(cc.cwnd_bytes(), 0) << cc.name();
+}
+
+TEST(RttGuard, VegasSurvivesZeroRttFirstAck) {
+  expect_survives_zero_rtt_first_ack<Vegas>();
+}
+TEST(RttGuard, IllinoisSurvivesZeroRttFirstAck) {
+  expect_survives_zero_rtt_first_ack<Illinois>();
+}
+TEST(RttGuard, CopaSurvivesZeroRttFirstAck) {
+  expect_survives_zero_rtt_first_ack<Copa>();
+}
+TEST(RttGuard, SproutSurvivesZeroRttFirstAck) {
+  expect_survives_zero_rtt_first_ack<SproutEwma>();
+}
+
+TEST(RttGuard, IllinoisGrowsBeforeFirstRttSample) {
+  // Without delay samples Illinois must fall back to plain additive increase,
+  // not stall (or adapt alpha from garbage trackers).
+  Illinois cc;
+  std::int64_t start = cc.cwnd_bytes();
+  for (int i = 0; i < 20; ++i)
+    cc.on_ack(ack_at(msec(i), static_cast<std::uint64_t>(i), 0, 0));
+  EXPECT_GT(cc.cwnd_bytes(), start);
 }
 
 // End-to-end sanity: every classic CCA must achieve reasonable utilization

@@ -1,0 +1,144 @@
+// Multi-flow training episodes: the learner behind a shared bottleneck with
+// competitor flows (CUBIC/BBR/self-play snapshots). Two promises under test:
+// the trainer's bitwise thread-count invariance survives competitor sampling
+// (every draw, including self-play policy snapshots, happens serially on the
+// main thread), and a learner-vs-CUBIC episode produces the multi-flow
+// attribution stats (per-flow throughput, Jain fairness) the fairness
+// experiments of Sec. 5 train against.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/trainer.h"
+#include "learned/libra_rl.h"
+#include "util/thread_pool.h"
+
+namespace libra {
+namespace {
+
+BrainBoundFactory libra_factory() {
+  return [](const std::shared_ptr<RlBrain>& b) {
+    return make_libra_rl(b, /*training=*/true);
+  };
+}
+
+std::shared_ptr<RlBrain> tiny_brain() {
+  RlCcaConfig cfg = libra_rl_config();
+  return std::make_shared<RlBrain>(make_ppo_config(cfg, 5, {8, 8}),
+                                   feature_frame_size(cfg.features));
+}
+
+TEST(MultiFlowTrain, WeightsBitwiseInvariantAcrossThreadCounts) {
+  // With competitors enabled — including self-play, whose policy snapshots
+  // are seeded from the trainer RNG — the trained brain must still serialize
+  // identically at any pool width.
+  TrainEnvRanges ranges;
+  ranges.capacity_hi_mbps = 50;
+  ranges.episode_length = sec(3);
+  ranges.competitors.min_flows = 1;
+  ranges.competitors.max_flows = 2;
+  ranges.competitors.w_cubic = 1.0;
+  ranges.competitors.w_bbr = 1.0;
+  ranges.competitors.w_self = 1.0;
+
+  BrainBoundFactory factory = libra_factory();
+  auto run = [&](std::size_t threads) {
+    auto brain = tiny_brain();
+    Trainer trainer(ranges, 77);
+    ThreadPool pool(threads);
+    auto curve = trainer.train_parallel(factory, brain, /*episodes=*/4, pool,
+                                        /*round_size=*/3);
+    EXPECT_EQ(curve.size(), 4u);
+    for (const EpisodeStats& ep : curve) {
+      EXPECT_GE(ep.competitors, 1);
+      EXPECT_LE(ep.competitors, 2);
+    }
+    std::ostringstream out;
+    brain->agent.save(out);
+    brain->normalizer.save(out);
+    return out.str();
+  };
+
+  const std::string one_thread = run(1);
+  EXPECT_EQ(run(2), one_thread);
+  EXPECT_EQ(run(4), one_thread);
+}
+
+TEST(MultiFlowTrain, LearnerVersusCubicReportsFairness) {
+  // One CUBIC competitor on a friendly fixed link: the episode stats must
+  // attribute throughput per flow and land a nontrivial Jain index (2 flows
+  // floor at 0.5; an empty-handed learner would sit at the floor).
+  TrainEnvRanges ranges;
+  ranges.capacity_lo_mbps = ranges.capacity_hi_mbps = 10;
+  ranges.rtt_lo = ranges.rtt_hi = msec(40);
+  ranges.buffer_lo = ranges.buffer_hi = 150 * 1000;
+  ranges.loss_lo = ranges.loss_hi = 0.0;
+  ranges.episode_length = sec(6);
+  ranges.competitors.min_flows = 1;
+  ranges.competitors.max_flows = 1;
+  ranges.competitors.w_cubic = 1.0;
+  ranges.competitors.w_bbr = 0.0;
+  ranges.competitors.w_self = 0.0;
+  ranges.competitors.max_stagger = 0;  // both flows start together
+
+  auto brain = tiny_brain();
+  Trainer trainer(ranges, 99);
+  ThreadPool pool(2);
+  auto curve = trainer.train_parallel(libra_factory(), brain, /*episodes=*/4,
+                                      pool, /*round_size=*/4);
+  ASSERT_EQ(curve.size(), 4u);
+  double best_fairness = 0.0;
+  for (const EpisodeStats& ep : curve) {
+    EXPECT_EQ(ep.competitors, 1);
+    EXPECT_GT(ep.learner_throughput_bps, 0.0);
+    // Total includes the competitor, so it strictly exceeds the learner.
+    EXPECT_GT(ep.throughput_bps, ep.learner_throughput_bps);
+    EXPECT_GT(ep.fairness, 0.0);
+    EXPECT_LE(ep.fairness, 1.0);
+    best_fairness = std::max(best_fairness, ep.fairness);
+  }
+  EXPECT_GT(best_fairness, 0.55);
+}
+
+TEST(MultiFlowTrain, SoloEpisodesKeepDegenerateStats) {
+  // The default mix must reproduce single-flow training: no competitors, a
+  // degenerate fairness of 1.0, and learner == total throughput.
+  TrainEnvRanges ranges;
+  ranges.capacity_hi_mbps = 30;
+  ranges.episode_length = sec(2);
+
+  auto brain = tiny_brain();
+  Trainer trainer(ranges, 5);
+  ThreadPool pool(2);
+  auto curve = trainer.train_parallel(libra_factory(), brain, /*episodes=*/2,
+                                      pool, /*round_size=*/2);
+  ASSERT_EQ(curve.size(), 2u);
+  for (const EpisodeStats& ep : curve) {
+    EXPECT_EQ(ep.competitors, 0);
+    EXPECT_DOUBLE_EQ(ep.fairness, 1.0);
+    EXPECT_DOUBLE_EQ(ep.learner_throughput_bps, ep.throughput_bps);
+  }
+}
+
+TEST(MultiFlowTrain, SerialSelfPlayIsRejected) {
+  // The serial path holds no brain handle to snapshot, so drawing a self-play
+  // competitor there must fail loudly instead of silently training solo.
+  TrainEnvRanges ranges;
+  ranges.episode_length = sec(1);
+  ranges.competitors.min_flows = 1;
+  ranges.competitors.max_flows = 1;
+  ranges.competitors.w_cubic = 0.0;
+  ranges.competitors.w_bbr = 0.0;
+  ranges.competitors.w_self = 1.0;
+
+  auto brain = tiny_brain();
+  Trainer trainer(ranges, 3);
+  CcaFactory make = [&brain] { return make_libra_rl(brain, /*training=*/true); };
+  EXPECT_THROW(trainer.train(make, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace libra

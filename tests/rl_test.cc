@@ -52,6 +52,63 @@ TEST(Matrix, DimensionChecks) {
 #endif
 }
 
+TEST(Matrix, BlockedGemmTransBBitwiseMatchesFlat) {
+  // The cache-blocked kernel promises bitwise identity with the flat one:
+  // every c(i,j) is one sequential sum over k, just revisited tile by tile.
+  // Exercise shapes that are odd with respect to both the 2x4 microkernel and
+  // the (jb, kb) tiles, including tiles smaller than the dimensions.
+  Rng rng(11);
+  struct Shape { std::size_t m, k, n, jb, kb; };
+  const Shape shapes[] = {
+      {1, 1, 1, 64, 256}, {3, 5, 7, 2, 3},     {2, 300, 70, 64, 256},
+      {5, 17, 9, 4, 8},   {16, 512, 512, 64, 256},
+  };
+  for (const Shape& s : shapes) {
+    Matrix a(s.m, s.k), b(s.n, s.k), flat(s.m, s.n), blocked(s.m, s.n);
+    for (double& v : a.data()) v = rng.uniform(-1.0, 1.0);
+    for (double& v : b.data()) v = rng.uniform(-1.0, 1.0);
+    gemm_transB(a, b, flat);
+    gemm_transB_blocked(a, b, blocked, /*accumulate=*/false, s.jb, s.kb);
+    ASSERT_EQ(flat.data(), blocked.data())
+        << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST(Matrix, BlockedGemmTransBAccumulates) {
+  Rng rng(12);
+  Matrix a(3, 10), b(6, 10), c(3, 6), expect(3, 6);
+  for (double& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  for (double& v : b.data()) v = rng.uniform(-1.0, 1.0);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    c.data()[i] = expect.data()[i] = rng.uniform(-1.0, 1.0);
+  Matrix prod(3, 6);
+  gemm_transB(a, b, prod);
+  for (std::size_t i = 0; i < expect.size(); ++i) expect.data()[i] += prod.data()[i];
+  gemm_transB_blocked(a, b, c, /*accumulate=*/true, 4, 4);
+  // The accumulate path interleaves the prior C value into the k-sum, so the
+  // comparison is numeric (tight), not bitwise.
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c.data()[i], expect.data()[i], 1e-12) << i;
+}
+
+TEST(Mlp, WideForwardBatchMatchesPerSample) {
+  // A 512-wide net crosses forward_batch's blocked-GEMM dispatch threshold;
+  // rows of the batched result must stay bitwise equal to evaluate() per row.
+  Rng rng(13);
+  Mlp net({24, 512, 512, 1}, rng);
+  MlpWorkspace ws;
+  ws.configure(net, 16);
+  ws.set_batch(16);
+  Rng xr(14);
+  for (double& v : ws.input().data()) v = xr.uniform(-2.0, 2.0);
+  net.forward_batch(ws);
+  for (std::size_t r = 0; r < 16; ++r) {
+    Vector x(24);
+    for (std::size_t c = 0; c < 24; ++c) x[c] = ws.input()(r, c);
+    EXPECT_EQ(net.evaluate(x)[0], ws.output()(r, 0)) << "row " << r;
+  }
+}
+
 TEST(Mlp, ForwardMatchesEvaluate) {
   Rng rng(3);
   Mlp net({4, 8, 2}, rng);
