@@ -20,6 +20,7 @@
 #include "harness/scenario.h"
 #include "harness/zoo.h"
 #include "obs/profiler.h"
+#include "rl/simd.h"
 
 namespace libra::benchx {
 
@@ -38,6 +39,12 @@ struct BenchArgs {
 /// as one JSON document (to `path`, or stdout when empty).
 inline void enable_json(const std::string& path) {
   JsonReport::instance().enable(path);
+  // Kernel ISA the numbers were produced with (dispatch decision + what the
+  // host supports) — cross-host bench comparisons need it to be interpretable.
+  JsonReport::instance().add_json(
+      "simd", std::string("{\"active\":\"") + simd::isa_name(simd::active()) +
+                  "\",\"avx2_fma_supported\":" +
+                  (simd::avx2_supported() ? "true" : "false") + "}");
   static bool registered = false;
   if (!registered) {
     registered = true;

@@ -29,6 +29,11 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   cmake --build build -j "$JOBS"
   (cd build && ctest --output-on-failure -j "$JOBS")
 
+  echo "== tier-1 (scalar kernels): full suite with LIBRA_SIMD=off =="
+  # Pins kernel dispatch to the scalar fallback so the pre-SIMD code paths
+  # (and their bitwise-reproducibility promises) stay exercised everywhere.
+  (cd build && LIBRA_SIMD=off ctest --output-on-failure -j "$JOBS")
+
   echo "== trace round-trip: record a run, summarize it offline =="
   # The recorded per-ACK stream must reproduce the run's own summary; a
   # truncated or empty trace makes trace_summarize exit non-zero.
@@ -77,10 +82,18 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   echo "== ASan: batched RL kernels + training path must be leak/overflow-free =="
   cmake -B build-asan -S . -DLIBRA_SANITIZE=address >/dev/null
   # rl_test covers the GEMM kernels, workspaces and the PPO update path;
-  # harness_test drives the trainer end-to-end. alloc_test is excluded: it
-  # replaces global operator new, which conflicts with ASan's interceptors.
-  cmake --build build-asan -j "$JOBS" --target rl_test harness_test
-  (cd build-asan && ./tests/rl_test && ./tests/harness_test)
+  # harness_test drives the trainer end-to-end; simd_test walks the AVX2
+  # kernels' unaligned loads and padded-tail handling, in both dispatch
+  # modes. alloc_test is excluded: it replaces global operator new, which
+  # conflicts with ASan's interceptors.
+  cmake --build build-asan -j "$JOBS" --target rl_test harness_test simd_test
+  (cd build-asan && ./tests/rl_test && ./tests/harness_test \
+    && ./tests/simd_test && LIBRA_SIMD=off ./tests/simd_test)
+
+  echo "== UBSan: simd_test (lane arithmetic, exponent-bit tricks) =="
+  cmake -B build-ubsan -S . -DLIBRA_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "$JOBS" --target simd_test
+  (cd build-ubsan && ./tests/simd_test)
 fi
 
 if [[ "$RUN_BENCH" == 1 ]]; then

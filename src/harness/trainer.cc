@@ -1,5 +1,7 @@
 #include "harness/trainer.h"
 
+#include <algorithm>
+
 #include "classic/bbr.h"
 #include "classic/cubic.h"
 #include "core/libra.h"
@@ -45,6 +47,11 @@ std::vector<Trainer::CompetitorSpec> Trainer::sample_competitors(
   const double total = mix.w_cubic + mix.w_bbr + mix.w_self;
   if (total <= 0)
     throw std::invalid_argument("CompetitorMix: kind weights sum to zero");
+  if (mix.duty_on <= 0.0 || mix.duty_on > 1.0)
+    throw std::invalid_argument("CompetitorMix: duty_on must be in (0, 1]");
+  const bool duty_cycled = mix.duty_on < 1.0;
+  if (duty_cycled && (mix.period_lo <= 0 || mix.period_hi < mix.period_lo))
+    throw std::invalid_argument("CompetitorMix: bad [period_lo, period_hi]");
 
   const int n = static_cast<int>(rng_.uniform_int(mix.min_flows, mix.max_flows));
   std::vector<CompetitorSpec> specs;
@@ -60,6 +67,13 @@ std::vector<Trainer::CompetitorSpec> Trainer::sample_competitors(
       spec.kind = CompetitorKind::kSelf;
     }
     spec.start = mix.max_stagger > 0 ? rng_.uniform_int(0, mix.max_stagger) : 0;
+    if (duty_cycled) {
+      // Period drawn per competitor on the same serial stream as everything
+      // else; always-on mixes (duty_on == 1.0) take this branch never, so
+      // they consume zero extra draws and legacy streams stay bit-identical.
+      spec.period = rng_.uniform_int(mix.period_lo, mix.period_hi);
+      spec.duty_on = mix.duty_on;
+    }
     if (spec.kind == CompetitorKind::kSelf) {
       if (!brain)
         throw std::invalid_argument(
@@ -91,14 +105,13 @@ EpisodeStats Trainer::run_in_env(const Scenario& env, const CcaFactory& make_cca
   flows.reserve(1 + competitors.size());
   flows.push_back({make_cca});  // the learner is always flow 0
   for (const CompetitorSpec& c : competitors) {
-    FlowSpec f;
-    f.start = c.start;
+    CcaFactory factory;
     switch (c.kind) {
       case CompetitorKind::kCubic:
-        f.make_cca = [] { return std::make_unique<Cubic>(); };
+        factory = [] { return std::make_unique<Cubic>(); };
         break;
       case CompetitorKind::kBbr:
-        f.make_cca = [] { return std::make_unique<Bbr>(); };
+        factory = [] { return std::make_unique<Bbr>(); };
         break;
       case CompetitorKind::kSelf: {
         if (!self_factory)
@@ -106,11 +119,32 @@ EpisodeStats Trainer::run_in_env(const Scenario& env, const CcaFactory& make_cca
               "Trainer: self-play competitor without a brain-bound factory");
         std::shared_ptr<RlBrain> snapshot = c.self_brain;
         const BrainBoundFactory& make = *self_factory;
-        f.make_cca = [snapshot, &make] { return make(snapshot); };
+        factory = [snapshot, &make] { return make(snapshot); };
         break;
       }
     }
-    flows.push_back(std::move(f));
+    if (c.period <= 0 || c.duty_on >= 1.0) {
+      // Always-on: the legacy single-window realization.
+      FlowSpec f;
+      f.make_cca = std::move(factory);
+      f.start = c.start;
+      flows.push_back(std::move(f));
+      continue;
+    }
+    // Duty-cycled: one flow per on-window, so the learner sees this
+    // competitor's traffic arrive and depart every period. A fresh CCA
+    // instance per window (restarting from slow start) is the behaviour of
+    // real on/off cross traffic — short downloads, ABR video chunks.
+    const SimDuration on = static_cast<SimDuration>(
+        static_cast<double>(c.period) * c.duty_on);
+    if (on <= 0) continue;
+    for (SimTime t = c.start; t < env.duration; t += c.period) {
+      FlowSpec f;
+      f.make_cca = factory;
+      f.start = t;
+      f.stop = std::min<SimTime>(t + on, env.duration);
+      flows.push_back(std::move(f));
+    }
   }
   auto net = run_scenario(env, flows, run_seed);
 

@@ -51,6 +51,15 @@ struct CompetitorMix {
   /// Competitor start times are staggered uniformly over [0, max_stagger] so
   /// the learner sees both empty-link startup and late-joiner dynamics.
   SimDuration max_stagger = sec(1);
+  /// On/off duty cycling: the fraction of each on/off period a competitor
+  /// spends sending. The default 1.0 keeps competitors on for their whole
+  /// lifetime and consumes zero extra RNG draws, so legacy training streams
+  /// stay bit-identical. For 0 < duty_on < 1 each competitor draws its period
+  /// from [period_lo, period_hi] on the serial trainer stream and is realized
+  /// as one flow per on-window, so the learner sees bursty departures and
+  /// arrivals of cross traffic mid-episode.
+  double duty_on = 1.0;
+  SimDuration period_lo = sec(1), period_hi = sec(2);
 };
 
 struct TrainEnvRanges {
@@ -118,6 +127,10 @@ class Trainer {
   struct CompetitorSpec {
     CompetitorKind kind = CompetitorKind::kCubic;
     SimTime start = 0;
+    /// On/off duty cycle (period drawn on the trainer stream); period == 0
+    /// means always-on, the legacy single-window realization.
+    SimDuration period = 0;
+    double duty_on = 1.0;
     std::shared_ptr<RlBrain> self_brain;  // kSelf only
   };
 

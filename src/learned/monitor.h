@@ -9,6 +9,8 @@
 
 #include <vector>
 
+#include "rl/matrix_simd.h"
+#include "rl/simd.h"
 #include "sim/congestion_control.h"
 #include "util/ewma.h"
 
@@ -101,6 +103,10 @@ class MiCollector {
   double rtt_slope() const {
     std::size_t n = rtt_samples_.size();
     if (n < 2) return 0.0;
+    if (simd::use_avx2()) {
+      static_assert(sizeof(RttSample) == 2 * sizeof(double));
+      return simd::ls_slope_avx2(&rtt_samples_.front().t, n);
+    }
     double mt = 0, mr = 0;
     for (auto& s : rtt_samples_) { mt += s.t; mr += s.rtt; }
     mt /= static_cast<double>(n);

@@ -11,7 +11,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "rl/matrix_simd.h"
 #include "rl/mlp.h"
+#include "rl/simd.h"
 
 namespace libra {
 
@@ -56,6 +58,11 @@ class AdamOptimizer {
     double* v = &v_[off];
     const double b1 = config_.beta1, b2 = config_.beta2;
     const double lr = config_.learning_rate, eps = config_.epsilon;
+    if (simd::use_avx2()) {
+      simd::adam_span_avx2(param, grad, m, v, n, grad_scale, b1, b2, bc1, bc2,
+                           lr, eps);
+      return;
+    }
     for (std::size_t i = 0; i < n; ++i) {
       const double g = grad[i] * grad_scale;
       m[i] = b1 * m[i] + (1.0 - b1) * g;

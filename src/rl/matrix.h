@@ -2,6 +2,11 @@
 // the RL congestion controllers, plus a small GEMM/GEMV kernel set operating
 // on caller-owned buffers so training loops run allocation-free.
 // No external dependencies.
+//
+// Every kernel dispatches once, via simd::use_avx2() (a relaxed atomic load),
+// between the scalar bodies below — kept verbatim as the LIBRA_SIMD=off
+// fallback, bitwise identical to pre-dispatch builds — and the AVX2+FMA
+// microkernels in matrix_simd.cc. See rl/simd.h for the determinism contract.
 #pragma once
 
 #include <algorithm>
@@ -9,6 +14,9 @@
 #include <cstddef>
 #include <stdexcept>
 #include <vector>
+
+#include "rl/matrix_simd.h"
+#include "rl/simd.h"
 
 namespace libra {
 
@@ -49,6 +57,12 @@ class Matrix {
     assert(x.size() == cols_ && "Matrix::multiply: dim mismatch");
     assert(&x != &y && "Matrix::multiply: aliased in/out");
     y.resize(rows_);
+    if (simd::use_avx2()) {
+      // Same dot contract as gemm_transB with m == 1, so per-sample
+      // inference stays bitwise identical to batched rows.
+      simd::matvec_avx2(data_.data(), x.data(), y.data(), rows_, cols_);
+      return;
+    }
     for (std::size_t r = 0; r < rows_; ++r) {
       double acc = 0.0;
       const double* row = &data_[r * cols_];
@@ -99,6 +113,10 @@ class Matrix {
 
 inline void axpy(Vector& y, const Vector& x, double a) {
   if (y.size() != x.size()) throw std::invalid_argument("axpy: dim mismatch");
+  if (simd::use_avx2()) {
+    simd::axpy_avx2(y.data(), x.data(), a, y.size());
+    return;
+  }
   for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
 }
 
@@ -117,6 +135,11 @@ inline void gemm(const Matrix& a, const Matrix& b, Matrix& c,
   assert(a.cols() == b.rows() && "gemm: inner dim mismatch");
   assert(c.rows() == a.rows() && c.cols() == b.cols() && "gemm: out dim mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (simd::use_avx2()) {
+    simd::gemm_avx2(a.data().data(), b.data().data(), c.data().data(), m, k, n,
+                    accumulate);
+    return;
+  }
   if (!accumulate) c.fill(0.0);
   for (std::size_t i = 0; i < m; ++i) {
     const double* arow = &a.data()[i * k];
@@ -137,6 +160,11 @@ inline void gemm_transA(const Matrix& a, const Matrix& b, Matrix& c,
   assert(a.rows() == b.rows() && "gemm_transA: inner dim mismatch");
   assert(c.rows() == a.cols() && c.cols() == b.cols() && "gemm_transA: out dim mismatch");
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (simd::use_avx2()) {
+    simd::gemm_transA_avx2(a.data().data(), b.data().data(), c.data().data(),
+                           k, m, n, accumulate);
+    return;
+  }
   if (!accumulate) c.fill(0.0);
   for (std::size_t p = 0; p < k; ++p) {
     const double* arow = &a.data()[p * m];
@@ -165,6 +193,10 @@ inline void gemm_transB(const Matrix& a, const Matrix& b, Matrix& c,
   const double* adata = a.data().data();
   const double* bdata = b.data().data();
   double* cdata = c.data().data();
+  if (simd::use_avx2()) {
+    simd::gemm_transB_avx2(adata, bdata, cdata, m, k, n, accumulate);
+    return;
+  }
 
   std::size_t i = 0;
   for (; i + 2 <= m; i += 2) {
@@ -251,6 +283,13 @@ inline void gemm_transB_blocked(const Matrix& a, const Matrix& b, Matrix& c,
   const double* adata = a.data().data();
   const double* bdata = b.data().data();
   double* cdata = c.data().data();
+  if (simd::use_avx2()) {
+    // The AVX2 dot contract is never split across k tiles (that would change
+    // the accumulation tree), so the blocked variant tiles only B's rows; kb
+    // is accepted for interface compatibility and ignored.
+    simd::gemm_transB_blocked_avx2(adata, bdata, cdata, m, k, n, accumulate, jb);
+    return;
+  }
   if (!accumulate) c.fill(0.0);
 
   for (std::size_t k0 = 0; k0 < k; k0 += kb) {
@@ -309,6 +348,11 @@ inline void gemm_transB_blocked(const Matrix& a, const Matrix& b, Matrix& c,
 /// Every row of `m` += `row` (bias broadcast over a batch).
 inline void add_row_broadcast(Matrix& m, const Vector& row) {
   assert(m.cols() == row.size() && "add_row_broadcast: dim mismatch");
+  if (simd::use_avx2()) {
+    simd::add_row_broadcast_avx2(m.data().data(), row.data(), m.rows(),
+                                 m.cols());
+    return;
+  }
   for (std::size_t i = 0; i < m.rows(); ++i) {
     double* r = &m.data()[i * m.cols()];
     for (std::size_t j = 0; j < m.cols(); ++j) r[j] += row[j];
@@ -318,6 +362,10 @@ inline void add_row_broadcast(Matrix& m, const Vector& row) {
 /// out += column sums of `m` (batch reduction of bias gradients).
 inline void add_col_sums(const Matrix& m, Vector& out) {
   assert(m.cols() == out.size() && "add_col_sums: dim mismatch");
+  if (simd::use_avx2()) {
+    simd::add_col_sums_avx2(m.data().data(), out.data(), m.rows(), m.cols());
+    return;
+  }
   for (std::size_t i = 0; i < m.rows(); ++i) {
     const double* r = &m.data()[i * m.cols()];
     for (std::size_t j = 0; j < m.cols(); ++j) out[j] += r[j];

@@ -5,7 +5,33 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "rl/matrix_simd.h"
+#include "rl/simd.h"
+
 namespace libra {
+
+namespace {
+
+// Activation kernels, dispatched like the GEMM layer. The AVX2 tanh pads its
+// remainder into a full vector, so each element's result is independent of
+// position — batched and per-sample activations stay bitwise identical.
+inline void tanh_inplace(double* x, std::size_t n) {
+  if (simd::use_avx2()) {
+    simd::tanh_inplace_avx2(x, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+}
+
+inline void tanh_backprop(double* g, const double* act, std::size_t n) {
+  if (simd::use_avx2()) {
+    simd::tanh_backprop_avx2(g, act, n);  // bitwise identical to scalar
+    return;
+  }
+  for (std::size_t j = 0; j < n; ++j) g[j] *= 1.0 - act[j] * act[j];
+}
+
+}  // namespace
 
 void MlpWorkspace::configure(const Mlp& net, std::size_t max_batch) {
   const std::vector<std::size_t>& sizes = net.sizes();
@@ -60,7 +86,7 @@ void Mlp::forward_batch(MlpWorkspace& ws) const {
     }
     add_row_broadcast(z, layers_[i].bias);
     if (i + 1 < layers_.size()) {
-      for (double& v : z.data()) v = std::tanh(v);
+      tanh_inplace(z.data().data(), z.data().size());
     }
   }
 }
@@ -76,7 +102,7 @@ void Mlp::backward_batch(MlpWorkspace& ws, bool want_input_grad) {
     if (i + 1 < layers_.size()) {
       const Vector& act = ws.acts[i + 1].data();
       Vector& g = dz.data();
-      for (std::size_t j = 0; j < g.size(); ++j) g[j] *= 1.0 - act[j] * act[j];
+      tanh_backprop(g.data(), act.data(), g.size());
     }
     // grad_W += dZ^T * acts_i ; grad_b += column sums of dZ.
     gemm_transA(dz, ws.acts[i], layers_[i].grad_weights, /*accumulate=*/true);
@@ -116,7 +142,7 @@ void Mlp::evaluate_into(const Vector& input, Vector& out) const {
     layers_[i].weights.multiply_into(*x, z);
     axpy(z, layers_[i].bias, 1.0);
     if (!last) {
-      for (double& v : z) v = std::tanh(v);
+      tanh_inplace(z.data(), z.size());
     }
     x = &z;
     use_ping = !use_ping;

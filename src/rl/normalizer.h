@@ -50,6 +50,12 @@ class RunningNormalizer {
     const Vector& mean = delta_mode_ ? ref_mean_ : mean_;
     const Vector& m2 = delta_mode_ ? ref_m2_ : m2_;
     const std::size_t n = delta_mode_ ? ref_n_ : n_;
+    if (simd::use_avx2()) {
+      // Exact IEEE ops only — bitwise identical to the scalar loop below.
+      simd::normalize_into_avx2(sample.data(), mean.data(), m2.data(), n, clip,
+                                out, sample.size());
+      return;
+    }
     for (std::size_t i = 0; i < sample.size(); ++i) {
       double var = n > 1 ? m2[i] / static_cast<double>(n - 1) : 1.0;
       double sd = std::sqrt(var);

@@ -1,0 +1,64 @@
+#include "rl/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace libra::simd {
+
+namespace detail {
+std::atomic<int> g_active_isa{static_cast<int>(Isa::kScalar)};
+}  // namespace detail
+
+bool avx2_supported() {
+  if (!compiled_with_avx2()) return false;
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports performs the CPUID leaf-7 AVX2/FMA checks plus the
+  // OSXSAVE/xgetbv XCR0 check (the OS must save ymm state) behind one call.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Isa force(Isa isa) {
+  if (isa == Isa::kAvx2 && !avx2_supported()) isa = Isa::kScalar;
+  detail::g_active_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  return isa;
+}
+
+Isa isa_from_env_value(const char* value) {
+  if (value == nullptr) return avx2_supported() ? Isa::kAvx2 : Isa::kScalar;
+  if (std::strcmp(value, "off") == 0 || std::strcmp(value, "scalar") == 0 ||
+      std::strcmp(value, "0") == 0) {
+    return Isa::kScalar;
+  }
+  if (std::strcmp(value, "avx2") == 0) {
+    return avx2_supported() ? Isa::kAvx2 : Isa::kScalar;
+  }
+  // "", "auto", "on", "1", or anything unrecognized: auto-detect.
+  return avx2_supported() ? Isa::kAvx2 : Isa::kScalar;
+}
+
+Isa init_from_env() {
+  return force(isa_from_env_value(std::getenv("LIBRA_SIMD")));
+}
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+namespace {
+// Static-init-time dispatch decision. Initialization order across TUs is
+// unspecified but fixed for a given binary, so even a kernel call from
+// another TU's static initializer (which would see the kScalar default)
+// behaves identically run-to-run.
+const Isa g_init = init_from_env();
+}  // namespace
+
+}  // namespace libra::simd

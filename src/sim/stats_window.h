@@ -10,6 +10,8 @@
 #include <cmath>
 #include <vector>
 
+#include "rl/matrix_simd.h"
+#include "rl/simd.h"
 #include "sim/congestion_control.h"
 #include "stats/utility_fn.h"
 
@@ -67,6 +69,12 @@ class StatsWindow {
   double rtt_gradient() const {
     std::size_t n = rtt_samples_.size();
     if (n < 2) return 0.0;
+    if (simd::use_avx2()) {
+      // RttSample is two packed doubles, i.e. the interleaved {t, y} layout
+      // the vector scan consumes directly.
+      static_assert(sizeof(RttSample) == 2 * sizeof(double));
+      return simd::ls_slope_avx2(&rtt_samples_.front().t, n);
+    }
     double mt = 0, mr = 0;
     for (auto& s : rtt_samples_) { mt += s.t; mr += s.rtt; }
     mt /= static_cast<double>(n);
@@ -94,7 +102,7 @@ class StatsWindow {
   }
 
  private:
-  struct RttSample { double t; double rtt; };
+  struct RttSample { double t; double rtt; };  // packed: the SIMD scan layout
   SimTime send_start_;
   SimTime send_end_;
   RateBps applied_rate_;

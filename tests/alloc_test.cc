@@ -15,7 +15,9 @@
 #include <new>
 
 #include "obs/profiler.h"
+#include "rl/matrix.h"
 #include "rl/ppo.h"
+#include "rl/simd.h"
 #include "util/rng.h"
 
 namespace {
@@ -73,6 +75,60 @@ TEST(PpoAllocation, UpdateIsAllocationFreeAfterWarmup) {
   EXPECT_EQ(g_allocations.load(), 0u)
       << "Ppo::update allocated after warm-up; a workspace is being resized "
          "past its reserved capacity";
+}
+
+TEST(PpoAllocation, UpdateIsAllocationFreeOnBothKernelPaths) {
+  // Same audit as above, once per dispatch decision: the AVX2 kernels write
+  // into the same caller-owned buffers as the scalar ones, and the dispatch
+  // itself is a relaxed atomic load — neither path may touch the heap.
+  const simd::Isa before = simd::active();
+  PpoConfig cfg;
+  cfg.state_dim = 8;
+  cfg.hidden = {32, 32};
+  cfg.horizon = 256;
+  cfg.minibatch = 64;
+  cfg.seed = 3;
+  cfg.collect_only = true;
+  PpoAgent agent(cfg);
+  Rng rng(4);
+  fill_buffer(agent, rng);
+  agent.flush_update(0.0);  // warm-up
+
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+  if (simd::avx2_supported()) isas.push_back(simd::Isa::kAvx2);
+  for (simd::Isa isa : isas) {
+    simd::force(isa);
+    fill_buffer(agent, rng);
+    g_allocations.store(0);
+    g_counting.store(true);
+    agent.flush_update(0.0);
+    g_counting.store(false);
+    EXPECT_EQ(g_allocations.load(), 0u)
+        << "Ppo::update allocated on the " << simd::isa_name(isa)
+        << " kernel path";
+  }
+  simd::force(before);
+}
+
+TEST(SimdDispatchAllocation, DispatchAndKernelsAllocateNothing) {
+  const simd::Isa before = simd::active();
+  Matrix w(16, 16);
+  Vector x(16, 0.25), y(16);
+  g_allocations.store(0);
+  g_counting.store(true);
+  // The dispatch decision (force + the relaxed-load predicate) and a kernel
+  // run into pre-sized buffers: zero heap traffic end to end.
+  simd::force(simd::Isa::kScalar);
+  (void)simd::use_avx2();
+  w.multiply_into(x, y);
+  if (simd::avx2_supported()) {
+    simd::force(simd::Isa::kAvx2);
+    w.multiply_into(x, y);
+  }
+  simd::force(before);
+  g_counting.store(false);
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "the kernel dispatch layer must not allocate";
 }
 
 TEST(ProfilerAllocation, DisabledSpanAllocatesNothing) {

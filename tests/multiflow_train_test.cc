@@ -123,6 +123,98 @@ TEST(MultiFlowTrain, SoloEpisodesKeepDegenerateStats) {
   }
 }
 
+TEST(MultiFlowTrain, AlwaysOnDutyDrawsNothingSoLegacyStreamsAreBitIdentical) {
+  // duty_on == 1.0 must consume zero RNG draws, so a mix that merely *sets*
+  // the duty-cycle period knobs (without enabling cycling) trains to exactly
+  // the same weights as one that never touched them.
+  TrainEnvRanges ranges;
+  ranges.capacity_hi_mbps = 50;
+  ranges.episode_length = sec(3);
+  ranges.competitors.min_flows = 1;
+  ranges.competitors.max_flows = 2;
+
+  auto run = [&](TrainEnvRanges r) {
+    auto brain = tiny_brain();
+    Trainer trainer(r, 77);
+    ThreadPool pool(2);
+    trainer.train_parallel(libra_factory(), brain, /*episodes=*/4, pool,
+                           /*round_size=*/3);
+    std::ostringstream out;
+    brain->agent.save(out);
+    brain->normalizer.save(out);
+    return out.str();
+  };
+
+  const std::string legacy = run(ranges);
+  TrainEnvRanges touched = ranges;
+  touched.competitors.duty_on = 1.0;  // explicit always-on
+  touched.competitors.period_lo = msec(250);
+  touched.competitors.period_hi = sec(4);
+  EXPECT_EQ(run(touched), legacy);
+}
+
+TEST(MultiFlowTrain, DutyCycledTrainingIsThreadInvariantAndDiffersFromAlwaysOn) {
+  // 50% duty cycling draws its periods on the serial trainer stream, so the
+  // weights stay bitwise thread-count invariant — while genuinely changing
+  // what the learner experiences (and therefore what it learns).
+  TrainEnvRanges ranges;
+  ranges.capacity_hi_mbps = 50;
+  ranges.episode_length = sec(3);
+  ranges.competitors.min_flows = 1;
+  ranges.competitors.max_flows = 2;
+  ranges.competitors.duty_on = 0.5;
+  ranges.competitors.period_lo = msec(500);
+  ranges.competitors.period_hi = sec(1);
+
+  auto run = [&](const TrainEnvRanges& r, std::size_t threads) {
+    auto brain = tiny_brain();
+    Trainer trainer(r, 77);
+    ThreadPool pool(threads);
+    auto curve = trainer.train_parallel(libra_factory(), brain, /*episodes=*/4,
+                                        pool, /*round_size=*/3);
+    EXPECT_EQ(curve.size(), 4u);
+    std::ostringstream out;
+    brain->agent.save(out);
+    brain->normalizer.save(out);
+    return out.str();
+  };
+
+  const std::string duty_one_thread = run(ranges, 1);
+  EXPECT_EQ(run(ranges, 2), duty_one_thread);
+  EXPECT_EQ(run(ranges, 4), duty_one_thread);
+
+  TrainEnvRanges continuous = ranges;
+  continuous.competitors.duty_on = 1.0;
+  EXPECT_NE(run(continuous, 2), duty_one_thread);
+}
+
+TEST(MultiFlowTrain, BadDutyCycleConfigIsRejected) {
+  TrainEnvRanges ranges;
+  ranges.episode_length = sec(1);
+  ranges.competitors.min_flows = 1;
+  ranges.competitors.max_flows = 1;
+  ranges.competitors.w_bbr = 0.0;
+  ranges.competitors.w_self = 0.0;
+
+  auto attempt = [&](double duty, SimDuration lo, SimDuration hi) {
+    TrainEnvRanges r = ranges;
+    r.competitors.duty_on = duty;
+    r.competitors.period_lo = lo;
+    r.competitors.period_hi = hi;
+    auto brain = tiny_brain();
+    Trainer trainer(r, 3);
+    CcaFactory make = [&brain] {
+      return make_libra_rl(brain, /*training=*/true);
+    };
+    trainer.train(make, 1);
+  };
+  EXPECT_THROW(attempt(0.0, sec(1), sec(2)), std::invalid_argument);
+  EXPECT_THROW(attempt(-0.5, sec(1), sec(2)), std::invalid_argument);
+  EXPECT_THROW(attempt(1.5, sec(1), sec(2)), std::invalid_argument);
+  EXPECT_THROW(attempt(0.5, sec(2), sec(1)), std::invalid_argument);
+  EXPECT_THROW(attempt(0.5, 0, sec(1)), std::invalid_argument);
+}
+
 TEST(MultiFlowTrain, SerialSelfPlayIsRejected) {
   // The serial path holds no brain handle to snapshot, so drawing a self-play
   // competitor there must fail loudly instead of silently training solo.

@@ -39,6 +39,7 @@
 #include "obs/json.h"
 #include "obs/json_parse.h"
 #include "obs/profiler.h"
+#include "rl/simd.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "trace/lte_model.h"
@@ -165,6 +166,58 @@ double wl_ppo_update_ms() {
   return elapsed * 1e3 / kUpdates;
 }
 
+double wl_wide_batched_greedy_us() {
+  // Paper-scale serving shape: one 2x512 policy evaluated for a fleet of 64
+  // flows per decision tick, through the full BatchedPolicyEval path
+  // (per-frame normalization + chunked forward_batch). Untrained weights —
+  // decision cost is architecture-determined, not policy-determined.
+  RlCcaConfig cfg = libra_rl_config();
+  auto brain = std::make_shared<RlBrain>(make_ppo_config(cfg, 3, {512, 512}),
+                                         feature_frame_size(cfg.features));
+  constexpr std::size_t kStates = 64;
+  constexpr int kIters = 4;
+  std::vector<Vector> states(kStates, Vector(brain->agent.config().state_dim));
+  Rng rng(11);
+  for (Vector& s : states)
+    for (double& v : s) v = rng.uniform(-1.0, 1.0);
+  BatchedPolicyEval eval(brain);
+  Vector out;
+  double acc = 0;
+  double t0 = now_s();
+  for (int i = 0; i < kIters; ++i) {
+    eval.evaluate(states, out);
+    acc += out[0];
+  }
+  double elapsed = now_s() - t0;
+  if (std::isnan(acc)) std::abort();
+  return elapsed * 1e6 / (kIters * kStates);
+}
+
+double wl_wide_forward_batch_us() {
+  // The raw actor forward_batch on the same 2x512 net with no normalizer or
+  // chunking overhead: isolates the GEMM + tanh loops the matrix kernels
+  // carry.
+  RlCcaConfig cfg = libra_rl_config();
+  PpoAgent agent(make_ppo_config(cfg, 3, {512, 512}));
+  constexpr std::size_t kBatch = 64;
+  constexpr int kIters = 4;
+  MlpWorkspace ws;
+  agent.configure_policy_workspace(ws, kBatch);
+  ws.set_batch(kBatch);
+  Rng rng(11);
+  for (double& v : ws.input().data()) v = rng.uniform(-1.0, 1.0);
+  Vector out;
+  double acc = 0;
+  double t0 = now_s();
+  for (int i = 0; i < kIters; ++i) {
+    agent.act_greedy_batch(ws, out);
+    acc += out[0];
+  }
+  double elapsed = now_s() - t0;
+  if (std::isnan(acc)) std::abort();
+  return elapsed * 1e6 / (kIters * kBatch);
+}
+
 double wl_lte_trace_ms() {
   std::uint64_t seed = 1;
   constexpr int kTraces = 3;
@@ -199,6 +252,8 @@ constexpr MetricDef kMetrics[] = {
     {"seed_sweep_12x4s", "ms", 0.50, wl_seed_sweep_ms},
     {"ppo_inference_h64", "ns/call", 0.75, wl_ppo_inference_ns},
     {"ppo_update_h64", "ms/update", 0.35, wl_ppo_update_ms},
+    {"wide_batched_greedy_2x512", "us/state", 0.75, wl_wide_batched_greedy_us},
+    {"wide_forward_batch_2x512", "us/state", 0.75, wl_wide_forward_batch_us},
     {"lte_trace_synthesis_60s", "ms/trace", 0.50, wl_lte_trace_ms},
 };
 
@@ -230,13 +285,14 @@ struct Options {
   int repeats = 5;
   double tolerance_override = 0;  // 0: use per-metric tolerance from baseline
   bool profile = false;
+  bool deterministic = false;  // --deterministic: force the scalar kernels
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " (--record=PATH | --compare=PATH) [--label=NAME]\n"
                "       [--git-sha=SHA] [--repeats=N] [--tolerance=FRAC]\n"
-               "       [--profile]\n\n"
+               "       [--profile] [--deterministic]\n\n"
                "  --record    run the suite and write a libra-bench-v1 baseline\n"
                "  --compare   run the suite and diff against a recorded baseline;\n"
                "              exits 1 if any metric regresses past its tolerance\n"
@@ -244,7 +300,10 @@ int usage(const char* argv0) {
                "              negative values force failure, for harness tests)\n"
                "  --repeats   samples per metric (median reported; default 5)\n"
                "  --profile   enable the in-process profiler and print its\n"
-               "              report after the suite\n";
+               "              report after the suite\n"
+               "  --deterministic\n"
+               "              force the scalar kernel path (same as\n"
+               "              LIBRA_SIMD=off) regardless of host ISA support\n";
   return 2;
 }
 
@@ -267,6 +326,9 @@ void write_baseline(const Options& opt,
   w.key("release").value(host_field(un.release));
   w.key("machine").value(host_field(un.machine));
   w.key("cores").value(static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  // Kernel ISA the suite actually ran with — the dispatch decision, not just
+  // hardware capability — so cross-host comparisons stay interpretable.
+  w.key("simd").value(simd::isa_name(simd::active()));
   w.end_object();
   w.key("repeats").value(static_cast<std::int64_t>(opt.repeats));
   w.key("metrics");
@@ -319,6 +381,19 @@ int compare_baseline(const Options& opt,
     std::cerr << "bench_baseline: baseline has no metrics object\n";
     return 1;
   }
+  // ISA mismatch is a warning, not a failure: comparing an AVX2 run against a
+  // scalar-era baseline is exactly how a kernel speedup shows up, but the
+  // reader should know the ratio mixes ISA and code changes.
+  if (const JsonValue* host = base.find("host"); host && host->is_object()) {
+    if (const JsonValue* isa = host->find("simd")) {
+      const std::string base_isa = isa->string_or("");
+      if (!base_isa.empty() && base_isa != simd::isa_name(simd::active()))
+        std::printf(
+            "\nwarning: kernel ISA differs from baseline (baseline=%s, this "
+            "run=%s); timings are cross-ISA\n",
+            base_isa.c_str(), simd::isa_name(simd::active()));
+    }
+  }
 
   std::printf("\n%-28s %12s %12s %7s %6s  %s\n", "metric", "baseline", "fresh",
               "ratio", "tol", "status");
@@ -369,15 +444,17 @@ int run(int argc, char** argv) {
     else if (a.rfind("--repeats=", 0) == 0) opt.repeats = std::atoi(std::string(a.substr(10)).c_str());
     else if (a.rfind("--tolerance=", 0) == 0) opt.tolerance_override = std::atof(std::string(a.substr(12)).c_str());
     else if (a == "--profile") opt.profile = true;
+    else if (a == "--deterministic") opt.deterministic = true;
     else return usage(argv[0]);
   }
   if (opt.record_path.empty() == opt.compare_path.empty()) return usage(argv[0]);
   if (opt.repeats < 1) opt.repeats = 1;
 
+  if (opt.deterministic) simd::force(simd::Isa::kScalar);
   if (opt.profile) Profiler::instance().enable();
 
-  std::printf("libra bench suite: %zu metrics x %d repeats\n", std::size(kMetrics),
-              opt.repeats);
+  std::printf("libra bench suite: %zu metrics x %d repeats (simd=%s)\n",
+              std::size(kMetrics), opt.repeats, simd::isa_name(simd::active()));
   std::vector<MetricResult> results;
   results.reserve(std::size(kMetrics));
   for (const MetricDef& def : kMetrics) {
