@@ -2,7 +2,8 @@
 # Tier-1 verify plus sanitizer passes: ThreadSanitizer over the parallel
 # experiment engine + parallel rollout collection + profiler, AddressSanitizer
 # over the batched RL kernels, a flight-recorder trace round-trip smoke test,
-# and a profiler-enabled smoke run. `--bench` adds the opt-in benchmark
+# a profiler-enabled smoke run, and a telemetry smoke leg (sampled run ->
+# trace_summarize queries -> report_html). `--bench` adds the opt-in benchmark
 # regression leg (scripts/bench_regress.sh against BENCH_seed.json).
 # Usage: scripts/check.sh [--tsan-only | --asan-only | --no-sanitizers | --bench]
 set -euo pipefail
@@ -64,6 +65,42 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   ./build/tools/json_check "$TRACE_DIR/prof_summary.json"
   ./build/tools/json_check --jsonl "$TRACE_DIR/prof.jsonl"
   echo "profiler smoke: ok"
+
+  echo "== telemetry smoke: sampled run -> query engine -> HTML report =="
+  # Record a short 2-flow run with the 1 ms sampler, query the trace through
+  # trace_summarize's filter flags, and render the columnar dump to HTML.
+  ./build/tools/record_run --out="$TRACE_DIR/tel.jsonl" --duration=2 --flows=2 \
+    --telemetry="$TRACE_DIR/tel_cols.jsonl" \
+    --telemetry-bin="$TRACE_DIR/tel_cols.bin" --sample-ms=1 \
+    > "$TRACE_DIR/tel_summary.json"
+  ./build/tools/json_check --jsonl "$TRACE_DIR/tel_cols.jsonl"
+  # Query round-trip: per-flow filtering and the event grep must agree with
+  # the trace (flow 1 exists, acks exist in the window).
+  ./build/tools/trace_summarize --flow=1 "$TRACE_DIR/tel.jsonl" \
+    | grep -q "rtt p99" || {
+    echo "telemetry smoke: --flow query lost the percentile table" >&2; exit 1; }
+  ./build/tools/trace_summarize --warmup=0.5 "$TRACE_DIR/tel.jsonl" \
+    | grep -q "queue p99" || {
+    echo "telemetry smoke: queueing-delay breakdown missing" >&2; exit 1; }
+  ACKS="$(./build/tools/trace_summarize --event=ack --since=0.5 --until=1.5 \
+    "$TRACE_DIR/tel.jsonl" | wc -l)"
+  [[ "$ACKS" -gt 0 ]] || {
+    echo "telemetry smoke: --event=ack query returned nothing" >&2; exit 1; }
+  # Unknown flags must fail fast with usage, not be silently ignored.
+  if ./build/tools/trace_summarize --bogus-flag "$TRACE_DIR/tel.jsonl" \
+    2>/dev/null; then
+    echo "telemetry smoke: unknown flag did not exit non-zero" >&2; exit 1
+  fi
+  ./build/tools/report_html --out="$TRACE_DIR/tel.html" \
+    "$TRACE_DIR/tel_cols.jsonl"
+  # Trivial tag-balance assertion: every <svg> closes and the document closes.
+  OPEN_SVG="$(grep -o "<svg" "$TRACE_DIR/tel.html" | wc -l)"
+  CLOSE_SVG="$(grep -o "</svg>" "$TRACE_DIR/tel.html" | wc -l)"
+  [[ "$OPEN_SVG" -gt 0 && "$OPEN_SVG" -eq "$CLOSE_SVG" ]] || {
+    echo "telemetry smoke: report_html SVG tags unbalanced" >&2; exit 1; }
+  grep -q "</html>" "$TRACE_DIR/tel.html" || {
+    echo "telemetry smoke: report_html document not closed" >&2; exit 1; }
+  echo "telemetry smoke: ok"
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
@@ -74,8 +111,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # concurrent metrics merges, logger sinks, and the profiler's thread-local
   # trees + report-time merge); building the whole tree under TSan is
   # unnecessary for the guarantee and triples the cycle time.
-  cmake --build build-tsan -j "$JOBS" --target parallel_test multiflow_train_test sim_test util_test obs_test profiler_test rl_test
-  (cd build-tsan && ./tests/parallel_test && ./tests/multiflow_train_test && ./tests/sim_test && ./tests/util_test && ./tests/obs_test && ./tests/profiler_test && ./tests/rl_test)
+  cmake --build build-tsan -j "$JOBS" --target parallel_test multiflow_train_test sim_test util_test obs_test telemetry_test profiler_test rl_test
+  (cd build-tsan && ./tests/parallel_test && ./tests/multiflow_train_test && ./tests/sim_test && ./tests/util_test && ./tests/obs_test && ./tests/telemetry_test && ./tests/profiler_test && ./tests/rl_test)
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then

@@ -6,6 +6,7 @@
 
 #include "classic/window_adjustable.h"
 #include "obs/profiler.h"
+#include "obs/telemetry.h"
 
 namespace libra {
 
@@ -33,9 +34,17 @@ void Libra::bind_recorder(FlightRecorder* rec, int flow_id) {
   rl_->bind_recorder(rec, flow_id);
 }
 
+void Libra::bind_telemetry(Telemetry* t, int flow_id) {
+  CongestionControl::bind_telemetry(t, flow_id);
+  if (classic_) classic_->bind_telemetry(t, flow_id);
+  rl_->bind_telemetry(t, flow_id);
+}
+
 void Libra::record_stage(SimTime now) const {
   if (FlightRecorder* rec = recorder())
     rec->stage_transition(now, obs_flow(), static_cast<int>(stage_));
+  if (Telemetry* t = telemetry())
+    t->stage_event(now, obs_flow(), static_cast<int>(stage_));
 }
 
 SimDuration Libra::rtt_estimate() const { return srtt_ > 0 ? srtt_ : kDefaultRtt; }

@@ -81,6 +81,11 @@ class Libra final : public CongestionControl {
   /// events (CUBIC epochs, RL actions) land in the same per-run trace.
   void bind_recorder(FlightRecorder* rec, int flow_id) override;
 
+  /// Propagates telemetry the same way; stage transitions become exact-time
+  /// telemetry events (not just interval samples of telemetry_stage()).
+  void bind_telemetry(Telemetry* telemetry, int flow_id) override;
+  int telemetry_stage() const override { return static_cast<int>(stage_); }
+
   RateBps pacing_rate() const override;
   std::int64_t cwnd_bytes() const override;
   std::string name() const override { return params_.name; }

@@ -38,6 +38,12 @@ class MeteredCca final : public CongestionControl {
     inner_->bind_recorder(rec, flow_id);
   }
 
+  void bind_telemetry(Telemetry* telemetry, int flow_id) override {
+    CongestionControl::bind_telemetry(telemetry, flow_id);
+    inner_->bind_telemetry(telemetry, flow_id);
+  }
+  int telemetry_stage() const override { return inner_->telemetry_stage(); }
+
   RateBps pacing_rate() const override { return inner_->pacing_rate(); }
   std::int64_t cwnd_bytes() const override { return inner_->cwnd_bytes(); }
   std::string name() const override { return inner_->name(); }

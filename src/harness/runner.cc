@@ -1,5 +1,6 @@
 #include "harness/runner.h"
 
+#include <fstream>
 #include <stdexcept>
 
 #include "obs/json.h"
@@ -25,6 +26,7 @@ std::unique_ptr<Network> run_scenario(const Scenario& scenario,
                                obs.trace_format);
     }
   }
+  if (obs.telemetry.enabled) net->telemetry().enable(obs.telemetry.config);
   for (const FlowSpec& spec : flows) {
     net->add_flow(spec.make_cca(), spec.start, spec.stop, spec.extra_ack_delay);
   }
@@ -35,6 +37,20 @@ std::unique_ptr<Network> run_scenario(const Scenario& scenario,
                              to_seconds(scenario.duration));
   }
   net->recorder().flush();  // drain the ring tail to the sink (no-op without one)
+  if (obs.telemetry.enabled) {
+    if (!obs.telemetry.binary_path.empty()) {
+      std::ofstream out(obs.telemetry.binary_path, std::ios::binary);
+      if (!out) throw std::runtime_error("run_scenario: cannot open " +
+                                         obs.telemetry.binary_path);
+      net->telemetry().write_binary(out);
+    }
+    if (!obs.telemetry.jsonl_path.empty()) {
+      std::ofstream out(obs.telemetry.jsonl_path);
+      if (!out) throw std::runtime_error("run_scenario: cannot open " +
+                                         obs.telemetry.jsonl_path);
+      net->telemetry().write_jsonl(out);
+    }
+  }
   return net;
 }
 

@@ -9,6 +9,7 @@
 
 #include "harness/scenario.h"
 #include "obs/recorder.h"
+#include "obs/telemetry.h"
 #include "sim/network.h"
 
 namespace libra {
@@ -61,6 +62,10 @@ struct ObsOptions {
   /// to the trace. Off by default: wall time is host-dependent, and the
   /// default trace must stay byte-identical for identical seeds.
   bool trace_meta = false;
+  /// Sampling telemetry (columnar per-flow/queue time series). Disabled by
+  /// default; when enabled the sampler runs at telemetry.config's interval
+  /// and the columnar store is dumped to the configured path(s) post-run.
+  TelemetryOptions telemetry;
 };
 
 /// Builds the network and runs it to `scenario.duration`. The returned

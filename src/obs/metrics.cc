@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/json.h"
@@ -8,7 +9,9 @@
 namespace libra {
 
 Histogram::Histogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0),
+      lower_edge_(-std::numeric_limits<double>::infinity()) {
   if (bounds_.empty()) throw std::invalid_argument("Histogram: no buckets");
   for (std::size_t i = 1; i < bounds_.size(); ++i) {
     if (bounds_[i] <= bounds_[i - 1])
@@ -23,7 +26,9 @@ Histogram Histogram::linear(double lo, double hi, std::size_t buckets) {
   double width = (hi - lo) / static_cast<double>(buckets);
   for (std::size_t i = 1; i <= buckets; ++i)
     bounds.push_back(lo + width * static_cast<double>(i));
-  return Histogram(std::move(bounds));
+  Histogram h{std::move(bounds)};
+  h.set_lower_edge(lo);
+  return h;
 }
 
 Histogram Histogram::exponential(double first, double growth, std::size_t buckets) {
@@ -42,6 +47,7 @@ Histogram Histogram::exponential(double first, double growth, std::size_t bucket
 void Histogram::add(double x) {
   auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (x < lower_edge_) ++underflow_;
   if (count_ == 0) {
     min_ = max_ = x;
   } else {
@@ -66,6 +72,7 @@ void Histogram::merge(const Histogram& other) {
     }
   }
   count_ += other.count_;
+  underflow_ += other.underflow_;
   sum_ += other.sum_;
 }
 
@@ -118,7 +125,9 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, h] : other.histograms_) {
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
-      it = histograms_.emplace(name, Histogram(h.bounds())).first;
+      Histogram fresh{h.bounds()};
+      fresh.set_lower_edge(h.lower_edge());
+      it = histograms_.emplace(name, std::move(fresh)).first;
     }
     it->second.merge(h);
   }
@@ -151,6 +160,10 @@ std::string MetricsRegistry::to_json() const {
     w.key("p50").value(h.percentile(50));
     w.key("p90").value(h.percentile(90));
     w.key("p99").value(h.percentile(99));
+    // Explicit ladder-fit diagnostics: samples past the last bound and (when
+    // a lower edge was declared) below the first bucket's intended floor.
+    w.key("overflow").value(h.overflow());
+    w.key("underflow").value(h.underflow());
     w.end_object();
   }
   w.end_object();

@@ -61,7 +61,9 @@ class Histogram {
   /// is implicit. A value x lands in the first bucket with x <= bound.
   explicit Histogram(std::vector<double> upper_bounds);
 
-  /// `buckets` equal-width buckets spanning [lo, hi] (plus overflow).
+  /// `buckets` equal-width buckets spanning [lo, hi] (plus overflow). The
+  /// lower edge is remembered: values below `lo` still land in bucket 0 (so
+  /// percentiles and merges are unchanged) but are counted as underflow.
   static Histogram linear(double lo, double hi, std::size_t buckets);
   /// Bounds first, first*growth, first*growth^2, ... (`buckets` of them).
   static Histogram exponential(double first, double growth, std::size_t buckets);
@@ -85,10 +87,22 @@ class Histogram {
   /// the overflow bucket.
   const std::vector<std::int64_t>& bucket_counts() const { return counts_; }
 
+  /// Declares `lo` the histogram's intended lower edge: add(x < lo) counts as
+  /// underflow (the sample still lands in bucket 0). linear() sets this to
+  /// its `lo`; explicit/exponential ladders default to -inf (no underflow).
+  void set_lower_edge(double lo) { lower_edge_ = lo; }
+  double lower_edge() const { return lower_edge_; }
+  /// Samples below the declared lower edge / above the last bound. Reported
+  /// explicitly in to_json so a mis-sized ladder is visible, not silent.
+  std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return counts_.back(); }
+
  private:
   std::vector<double> bounds_;
   std::vector<std::int64_t> counts_;  // bounds_.size() + 1 entries
   std::int64_t count_ = 0;
+  std::int64_t underflow_ = 0;
+  double lower_edge_;  // set in the constructor (-inf by default)
   double sum_ = 0;
   double min_ = 0, max_ = 0;
 };

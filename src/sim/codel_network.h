@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "sim/codel_queue.h"
 #include "sim/event_queue.h"
 #include "sim/flow.h"
@@ -36,6 +37,7 @@ class CodelNetwork {
     auto flow = std::make_unique<Flow>(events_, cfg, std::move(cca));
     flow->sender().set_transmit([this](Packet pkt) { link_->send(std::move(pkt)); });
     flow->sender().set_recorder(&recorder_);
+    flow->sender().set_telemetry(&telemetry_);
     flows_.push_back(std::move(flow));
     return id;
   }
@@ -44,6 +46,7 @@ class CodelNetwork {
     if (!started_) {
       started_ = true;
       for (auto& f : flows_) f->sender().start();
+      if (telemetry_.enabled()) telemetry_tick();
     }
     events_.run_until(t);
   }
@@ -52,14 +55,37 @@ class CodelNetwork {
   CodelQueue& link() { return *link_; }
   EventQueue& events() { return events_; }
   FlightRecorder& recorder() { return recorder_; }
+  Telemetry& telemetry() { return telemetry_; }
+  const Telemetry& telemetry() const { return telemetry_; }
 
   double delivered_bytes_in(SimTime t0, SimTime t1) const {
     return deliveries_.sum_in(t0, t1);
   }
 
  private:
+  // Mirrors Network::telemetry_tick, but the sojourn column is *exact* here:
+  // CoDel already timestamps every packet at enqueue.
+  void telemetry_tick() {
+    const SimTime now = events_.now();
+    TelemetryFlowSample fs;
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      flows_[i]->sender().fill_telemetry(fs);
+      fs.acked_bytes = static_cast<double>(flows_[i]->metrics().bytes_acked);
+      telemetry_.sample_flow(static_cast<int>(i), fs);
+    }
+    TelemetryQueueSample qs;
+    qs.depth_bytes = static_cast<double>(link_->queue_bytes());
+    qs.depth_packets = static_cast<double>(link_->queue_packets());
+    qs.sojourn_ms = to_msec(link_->head_sojourn(now));
+    qs.drops = static_cast<double>(link_->codel_drops());
+    telemetry_.sample_queue(0, qs);
+    events_.schedule_in(telemetry_.config().sample_interval,
+                        [this] { telemetry_tick(); });
+  }
+
   EventQueue events_;
   FlightRecorder recorder_;
+  Telemetry telemetry_;
   std::unique_ptr<CodelQueue> link_;
   std::vector<std::unique_ptr<Flow>> flows_;
   SimDuration ack_delay_ = msec(15);

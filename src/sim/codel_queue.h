@@ -73,6 +73,12 @@ class CodelQueue {
   }
 
   std::int64_t queue_bytes() const { return queue_bytes_; }
+  std::size_t queue_packets() const { return queue_.size(); }
+  /// Sojourn time of the current head packet (exact — CoDel timestamps every
+  /// packet at enqueue); 0 when the queue is empty. Telemetry read point.
+  SimDuration head_sojourn(SimTime now) const {
+    return queue_.empty() ? 0 : now - queue_.front().enqueue_time;
+  }
   std::int64_t codel_drops() const { return codel_drops_; }
   /// Current control-law count (observability for the RFC 8289 §4.2
   /// re-entry tests); 0 until the first dropping episode.

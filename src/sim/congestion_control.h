@@ -45,6 +45,8 @@ struct SendEvent {
 
 inline constexpr std::int64_t kInfiniteCwnd = std::numeric_limits<std::int64_t>::max() / 4;
 
+class Telemetry;
+
 class CongestionControl {
  public:
   virtual ~CongestionControl() = default;
@@ -80,7 +82,20 @@ class CongestionControl {
     obs_flow_ = flow_id;
   }
 
+  /// Attaches the run's telemetry sampler (same wiring path as the
+  /// recorder). Algorithms with internal control state worth annotating
+  /// (Libra stage transitions) push into it; wrappers propagate.
+  virtual void bind_telemetry(Telemetry* telemetry, int flow_id) {
+    obs_telemetry_ = telemetry;
+    obs_flow_ = flow_id;
+  }
+
+  /// Control-cycle stage sampled into the telemetry `stage` column; -1 for
+  /// algorithms without staged control (everything but Libra).
+  virtual int telemetry_stage() const { return -1; }
+
  protected:
+  Telemetry* telemetry() const { return obs_telemetry_; }
   FlightRecorder* recorder() const { return obs_recorder_; }
   int obs_flow() const { return obs_flow_; }
 
@@ -92,6 +107,7 @@ class CongestionControl {
 
  private:
   FlightRecorder* obs_recorder_ = nullptr;
+  Telemetry* obs_telemetry_ = nullptr;
   int obs_flow_ = 0;
 };
 

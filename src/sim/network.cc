@@ -38,6 +38,7 @@ int Network::add_flow(std::unique_ptr<CongestionControl> cca, SimTime start_time
   auto flow = std::make_unique<Flow>(events_, cfg, std::move(cca));
   flow->sender().set_transmit([this](Packet pkt) { link_->send(std::move(pkt)); });
   flow->sender().set_recorder(&recorder_);
+  flow->sender().set_telemetry(&telemetry_);
   flows_.push_back(std::move(flow));
   ack_delays_.push_back(link_->config().propagation_delay + extra_ack_delay);
   return id;
@@ -70,6 +71,40 @@ void Network::finalize_metrics() {
       .inc(static_cast<std::int64_t>(recorder_.recorded()));
   metrics_.counter("trace.overwritten")
       .inc(static_cast<std::int64_t>(recorder_.overwritten()));
+  if (telemetry_.enabled()) {
+    metrics_.counter("telemetry.samples")
+        .inc(static_cast<std::int64_t>(telemetry_.samples()));
+    metrics_.counter("telemetry.stage_events")
+        .inc(static_cast<std::int64_t>(telemetry_.stage_events().size()));
+    metrics_.gauge("telemetry.bucket_width_ms")
+        .set(to_msec(telemetry_.bucket_width()));
+  }
+}
+
+// One sampling event covers every flow plus the bottleneck queue, so the
+// event-queue cost of telemetry is one timer per interval regardless of flow
+// count. The callback only *reads* simulator state, which keeps results
+// bitwise identical with telemetry on vs off.
+void Network::telemetry_tick() {
+  const SimTime now = events_.now();
+  TelemetryFlowSample fs;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    flows_[i]->sender().fill_telemetry(fs);
+    fs.acked_bytes = static_cast<double>(flows_[i]->metrics().bytes_acked);
+    telemetry_.sample_flow(static_cast<int>(i), fs);
+  }
+  TelemetryQueueSample qs;
+  qs.depth_bytes = static_cast<double>(link_->queue_bytes());
+  qs.depth_packets = static_cast<double>(link_->queue_packets());
+  // Droptail has no per-packet sojourn state; estimate the head sojourn as
+  // the time to drain the standing queue at the current capacity.
+  RateBps rate = link_->capacity().rate_at(now);
+  qs.sojourn_ms =
+      rate > 0 ? to_msec(transmission_time(link_->queue_bytes(), rate)) : 0.0;
+  qs.drops = static_cast<double>(link_->drops_overflow() + link_->drops_wire());
+  telemetry_.sample_queue(0, qs);
+  events_.schedule_in(telemetry_.config().sample_interval,
+                      [this] { telemetry_tick(); });
 }
 
 void Network::run_until(SimTime t) {
@@ -78,6 +113,7 @@ void Network::run_until(SimTime t) {
   if (!started_) {
     started_ = true;
     for (auto& f : flows_) f->sender().start();
+    if (telemetry_.enabled()) telemetry_tick();
   }
   events_.run_until(t);
   wall_time_s_ +=

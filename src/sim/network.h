@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "obs/telemetry.h"
 #include "sim/event_queue.h"
 #include "sim/flow.h"
 #include "sim/link.h"
@@ -58,15 +59,25 @@ class Network {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Per-run sampling telemetry (columnar per-flow/queue time series).
+  /// Disabled and free by default; `telemetry().enable(...)` before the run
+  /// starts makes run_until drive a fixed sim-time-interval sampler over
+  /// every flow and the bottleneck queue.
+  Telemetry& telemetry() { return telemetry_; }
+  const Telemetry& telemetry() const { return telemetry_; }
+
   /// Snapshots end-of-run simulator state (event-queue depth, link drops,
   /// per-flow packet counts) into the metrics registry. Idempotent-ish:
   /// counters are set from absolute totals only once.
   void finalize_metrics();
 
  private:
+  void telemetry_tick();
+
   EventQueue events_;
   FlightRecorder recorder_;
   MetricsRegistry metrics_;
+  Telemetry telemetry_;
   std::unique_ptr<DropTailLink> link_;
   std::vector<std::unique_ptr<Flow>> flows_;
   std::vector<SimDuration> ack_delays_;

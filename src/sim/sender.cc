@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/profiler.h"
+#include "obs/telemetry.h"
 
 namespace libra {
 
@@ -29,6 +30,16 @@ void Sender::replace_cca(std::unique_ptr<CongestionControl> cca) {
   if (!cca) throw std::invalid_argument("Sender: null controller");
   cca_ = std::move(cca);
   if (recorder_) cca_->bind_recorder(recorder_, config_.flow_id);
+  if (telemetry_) cca_->bind_telemetry(telemetry_, config_.flow_id);
+}
+
+void Sender::fill_telemetry(TelemetryFlowSample& sample) const {
+  sample.cwnd_bytes = static_cast<double>(cca_->cwnd_bytes());
+  sample.pacing_rate_bps = effective_pacing_rate();
+  sample.srtt_ms = to_msec(srtt_);
+  sample.inflight_bytes = static_cast<double>(bytes_in_flight_);
+  sample.lost_packets = static_cast<double>(packets_lost_);
+  sample.stage = static_cast<double>(cca_->telemetry_stage());
 }
 
 void Sender::maybe_record_rate() {

@@ -18,6 +18,8 @@
 
 namespace libra {
 
+struct TelemetryFlowSample;
+
 struct SenderConfig {
   int flow_id = 0;
   std::int64_t packet_bytes = kDefaultPacketBytes;
@@ -49,6 +51,19 @@ class Sender {
     recorder_ = rec;
     cca_->bind_recorder(rec, config_.flow_id);
   }
+
+  /// Attaches the run's telemetry sampler and propagates it to the CCA
+  /// (same contract as set_recorder: free while telemetry is off).
+  void set_telemetry(Telemetry* telemetry) {
+    telemetry_ = telemetry;
+    cca_->bind_telemetry(telemetry, config_.flow_id);
+  }
+
+  /// Fills the sender-owned fields of a telemetry sample: cwnd, the
+  /// *effective* pacing rate (what the pacer actually enforces, including the
+  /// cwnd/SRTT-derived rate for window-driven CCAs), SRTT, inflight, losses,
+  /// and the CCA's control stage. Read-only: sampling cannot perturb the run.
+  void fill_telemetry(TelemetryFlowSample& sample) const;
 
   /// Schedules the first send and the periodic tick at config.start_time.
   void start();
@@ -170,6 +185,7 @@ class Sender {
   std::unique_ptr<CongestionControl> cca_;
   TransmitFn transmit_;
   FlightRecorder* recorder_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
   RateBps last_recorded_rate_ = -1;
   std::int64_t last_recorded_cwnd_ = -1;
 

@@ -6,7 +6,10 @@
 //   - profiler spans: a disabled PROF_SCOPE allocates nothing (the zero-cost
 //     hot-path claim), and an enabled span over an already-seen tree path
 //     allocates nothing either (steady-state profiling doesn't perturb the
-//     allocator).
+//     allocator);
+//   - telemetry: disabled hooks allocate nothing, and enabled steady-state
+//     sampling (including M4 compactions) allocates nothing after the first
+//     sample sized the columnar store.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -15,6 +18,7 @@
 #include <new>
 
 #include "obs/profiler.h"
+#include "obs/telemetry.h"
 #include "rl/matrix.h"
 #include "rl/ppo.h"
 #include "rl/simd.h"
@@ -129,6 +133,48 @@ TEST(SimdDispatchAllocation, DispatchAndKernelsAllocateNothing) {
   g_counting.store(false);
   EXPECT_EQ(g_allocations.load(), 0u)
       << "the kernel dispatch layer must not allocate";
+}
+
+TEST(TelemetryAllocation, DisabledHooksAllocateNothing) {
+  Telemetry t;
+  TelemetryFlowSample fs;
+  TelemetryQueueSample qs;
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 1000; ++i) {
+    t.stage_event(msec(i), 0, i % 4);
+    t.sample_flow(0, fs);
+    t.sample_queue(0, qs);
+  }
+  g_counting.store(false);
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "disabled telemetry hooks must be a branch on enabled_, nothing else";
+}
+
+TEST(TelemetryAllocation, EnabledSteadyStateSamplingAllocatesNothing) {
+  Telemetry t;
+  TelemetryConfig cfg;
+  cfg.max_buckets = 16;
+  t.enable(cfg);
+  TelemetryFlowSample fs;
+  TelemetryQueueSample qs;
+  // Warm-up: first samples create the flow/queue series (columns reserved to
+  // max_buckets) and the stage-event buffer was reserved by enable().
+  t.sample_flow(0, fs);
+  t.sample_queue(0, qs);
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  // 10k samples into 16 buckets: many pairwise compactions, all in place.
+  for (int i = 0; i < 10000; ++i) {
+    fs.cwnd_bytes = static_cast<double>(i);
+    t.sample_flow(0, fs);
+    t.sample_queue(0, qs);
+  }
+  g_counting.store(false);
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "steady-state sampling or compaction touched the heap; a column "
+         "outgrew its reserved capacity";
 }
 
 TEST(ProfilerAllocation, DisabledSpanAllocatesNothing) {

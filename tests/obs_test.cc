@@ -89,6 +89,44 @@ TEST(Histogram, LinearAndExponentialLadders) {
   EXPECT_THROW(Histogram(std::vector<double>{}), std::invalid_argument);
 }
 
+TEST(Histogram, UnderflowAndOverflowAreReportedExplicitly) {
+  Histogram h = Histogram::linear(10, 20, 5);  // linear declares lo as the edge
+  EXPECT_EQ(h.lower_edge(), 10.0);
+  h.add(5.0);    // below the declared edge: bucket 0 AND the underflow count
+  h.add(15.0);   // in range
+  h.add(100.0);  // past the last bound
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.count(), 3);  // every sample still counted in the buckets
+  EXPECT_EQ(h.bucket_counts().front(), 1);
+
+  // Explicit-bounds histograms have no declared lower edge: nothing is
+  // "below range" by default.
+  Histogram open({10.0, 20.0});
+  open.add(-1e9);
+  EXPECT_EQ(open.underflow(), 0);
+  EXPECT_EQ(open.overflow(), 0);
+
+  // Merge adds the flow counters alongside the buckets.
+  Histogram h2 = Histogram::linear(10, 20, 5);
+  h2.add(1.0);
+  h2.add(99.0);
+  h.merge(h2);
+  EXPECT_EQ(h.underflow(), 2);
+  EXPECT_EQ(h.overflow(), 2);
+}
+
+TEST(Histogram, ToJsonReportsOverflowAndUnderflow) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat_ms", Histogram::linear(1, 10, 3));
+  h.add(0.5);
+  h.add(5.0);
+  h.add(50.0);
+  std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"overflow\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"underflow\":1"), std::string::npos) << json;
+}
+
 TEST(Histogram, MergeAddsBucketwiseAndRejectsMismatchedBounds) {
   Histogram a = Histogram::linear(0, 10, 5);
   Histogram b = Histogram::linear(0, 10, 5);

@@ -218,6 +218,27 @@ double wl_wide_forward_batch_us() {
   return elapsed * 1e6 / (kIters * kBatch);
 }
 
+double wl_telemetry_sample_1ms_ms() {
+  // Telemetry overhead shape from ISSUE/EXPERIMENTS: a multi-flow wired run
+  // with the 1 ms sampler on, timed end to end. Compare against the cubic
+  // sim-second workloads to see the sampler's share; the acceptance bar is
+  // single-digit percent.
+  constexpr int kFlows = 20;
+  Scenario s = wired_scenario(48);
+  s.duration = sec(1);
+  std::vector<FlowSpec> flows;
+  for (int i = 0; i < kFlows; ++i)
+    flows.push_back({[] { return std::make_unique<Cubic>(); }});
+  ObsOptions obs;
+  obs.telemetry.enabled = true;
+  obs.telemetry.config.sample_interval = msec(1);
+  double t0 = now_s();
+  auto net = run_scenario(s, flows, 7, obs);
+  double elapsed = now_s() - t0;
+  if (net->telemetry().samples() == 0) std::abort();
+  return elapsed * 1e3;
+}
+
 double wl_lte_trace_ms() {
   std::uint64_t seed = 1;
   constexpr int kTraces = 3;
@@ -254,6 +275,7 @@ constexpr MetricDef kMetrics[] = {
     {"ppo_update_h64", "ms/update", 0.35, wl_ppo_update_ms},
     {"wide_batched_greedy_2x512", "us/state", 0.75, wl_wide_batched_greedy_us},
     {"wide_forward_batch_2x512", "us/state", 0.75, wl_wide_forward_batch_us},
+    {"telemetry_sample_1ms", "ms/run", 0.75, wl_telemetry_sample_1ms_ms},
     {"lte_trace_synthesis_60s", "ms/trace", 0.50, wl_lte_trace_ms},
 };
 

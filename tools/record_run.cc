@@ -1,16 +1,24 @@
 // record_run: records a short simulator run with the flight recorder
-// streaming JSONL to a file, then prints the run summary as JSON. Uses only
-// classic CCAs (no RL training), so it runs in well under a second — the CI
-// trace round-trip smoke test (scripts/check.sh) pipes its output through
-// trace_summarize.
+// streaming JSONL to a file, then prints the run summary as JSON. Uses
+// inference-mode CCAs only (no RL training), so it runs in well under a
+// second — the CI trace round-trip smoke test (scripts/check.sh) pipes its
+// output through trace_summarize, and the telemetry smoke leg feeds its
+// telemetry dumps to report_html.
 //
-//   record_run [--out=trace.jsonl] [--cca=cubic|bbr] [--rate=MBPS]
-//              [--duration=SECS] [--seed=N] [--meta] [--profile]
+//   record_run [--out=trace.jsonl] [--cca=cubic|bbr|libra] [--rate=MBPS]
+//              [--duration=SECS] [--seed=N] [--flows=N] [--meta] [--profile]
+//              [--no-trace] [--telemetry=FILE.jsonl] [--telemetry-bin=FILE.bin]
+//              [--sample-ms=MS]
 //
 // --meta appends the end-of-run "run" metadata event (wall/sim time) to the
 // trace; off by default so default traces stay byte-identical per seed.
 // --profile enables the in-process profiler and prints its call-tree report
 // to stderr after the run.
+// --no-trace disables the flight recorder entirely (telemetry-only runs and
+// clean overhead measurements). --telemetry/--telemetry-bin enable the
+// columnar sampler and dump it post-run; --sample-ms sets its interval.
+// stderr always reports events processed and events/s, so overhead of the
+// sampler is measurable by diffing two invocations.
 #include <cstdint>
 #include <iostream>
 #include <memory>
@@ -19,19 +27,35 @@
 
 #include "classic/bbr.h"
 #include "classic/cubic.h"
+#include "core/factory.h"
 #include "harness/runner.h"
 #include "harness/scenario.h"
 #include "obs/profiler.h"
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: record_run [--out=trace.jsonl] [--cca=cubic|bbr|libra] "
+    "[--rate=MBPS] [--duration=SECS] [--seed=N] [--flows=N] [--meta] "
+    "[--profile] [--no-trace] [--telemetry=FILE.jsonl] "
+    "[--telemetry-bin=FILE.bin] [--sample-ms=MS]\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace libra;
   std::string out_path = "trace.jsonl";
+  std::string telemetry_path;
+  std::string telemetry_bin_path;
   std::string cca = "cubic";
   double rate_mbps = 48;
   double duration_s = 5;
+  double sample_ms = 1.0;
   std::uint64_t seed = 1;
+  int n_flows = 1;
   bool meta = false;
   bool profile = false;
+  bool trace = true;
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     if (a.rfind("--out=", 0) == 0) {
@@ -45,16 +69,28 @@ int main(int argc, char** argv) {
     } else if (a.rfind("--seed=", 0) == 0) {
       seed = static_cast<std::uint64_t>(
           std::atoll(std::string(a.substr(7)).c_str()));
+    } else if (a.rfind("--flows=", 0) == 0) {
+      n_flows = std::atoi(std::string(a.substr(8)).c_str());
+    } else if (a.rfind("--telemetry=", 0) == 0) {
+      telemetry_path = std::string(a.substr(12));
+    } else if (a.rfind("--telemetry-bin=", 0) == 0) {
+      telemetry_bin_path = std::string(a.substr(16));
+    } else if (a.rfind("--sample-ms=", 0) == 0) {
+      sample_ms = std::atof(std::string(a.substr(12)).c_str());
     } else if (a == "--meta") {
       meta = true;
+    } else if (a == "--no-trace") {
+      trace = false;
     } else if (a == "--profile") {
       profile = true;
     } else {
-      std::cerr << "usage: record_run [--out=trace.jsonl] [--cca=cubic|bbr] "
-                   "[--rate=MBPS] [--duration=SECS] [--seed=N] [--meta] "
-                   "[--profile]\n";
+      std::cerr << kUsage;
       return 2;
     }
+  }
+  if (n_flows < 1) {
+    std::cerr << "error: --flows must be >= 1\n";
+    return 2;
   }
 
   CcaFactory factory;
@@ -62,8 +98,13 @@ int main(int argc, char** argv) {
     factory = [] { return std::make_unique<Cubic>(); };
   } else if (cca == "bbr") {
     factory = [] { return std::make_unique<Bbr>(); };
+  } else if (cca == "libra") {
+    // Inference-mode C-Libra over an untrained brain: the control cycle (and
+    // its telemetry stage events) runs fine; decisions are just naive.
+    auto brain = make_libra_rl_brain(seed);
+    factory = [brain] { return make_c_libra(brain, /*training=*/false); };
   } else {
-    std::cerr << "error: unknown --cca=" << cca << " (cubic|bbr)\n";
+    std::cerr << "error: unknown --cca=" << cca << " (cubic|bbr|libra)\n";
     return 2;
   }
 
@@ -71,16 +112,38 @@ int main(int argc, char** argv) {
   s.duration = seconds(duration_s);
 
   ObsOptions obs;
-  obs.record = true;
-  obs.trace_path = out_path;
+  obs.record = trace;
+  if (trace) obs.trace_path = out_path;
   obs.trace_meta = meta;
+  if (!telemetry_path.empty() || !telemetry_bin_path.empty()) {
+    obs.telemetry.enabled = true;
+    obs.telemetry.config.sample_interval =
+        std::max<SimDuration>(1, static_cast<SimDuration>(sample_ms * 1000.0));
+    obs.telemetry.jsonl_path = telemetry_path;
+    obs.telemetry.binary_path = telemetry_bin_path;
+  }
+
+  std::vector<FlowSpec> flows;
+  for (int i = 0; i < n_flows; ++i) flows.push_back({factory});
 
   if (profile) Profiler::instance().enable();
-  auto net = run_scenario(s, {{factory}}, seed, obs);
+  auto net = run_scenario(s, flows, seed, obs);
   RunSummary summary = summarize(*net, sec(1), s.duration);
 
-  std::cerr << "recorded " << net->recorder().recorded() << " events to "
-            << out_path << "\n";
+  if (trace) {
+    std::cerr << "recorded " << net->recorder().recorded() << " events to "
+              << out_path << "\n";
+  }
+  if (obs.telemetry.enabled) {
+    std::cerr << "telemetry: " << net->telemetry().samples() << " samples, "
+              << net->telemetry().stage_events().size() << " stage events, "
+              << "bucket width " << to_msec(net->telemetry().bucket_width())
+              << " ms\n";
+  }
+  const double wall = net->wall_time_s();
+  const auto events = net->events().processed();
+  std::cerr << "events " << events << " wall_s " << wall << " events_per_s "
+            << (wall > 0 ? static_cast<double>(events) / wall : 0.0) << "\n";
   std::cout << to_json(summary) << "\n";
   if (profile) {
     Profiler::instance().disable();

@@ -1,0 +1,520 @@
+// report_html: renders telemetry JSONL dumps (obs/telemetry.h write_jsonl)
+// as one self-contained HTML file — inline SVG, inline CSS, no external
+// assets, so the file works from a mail attachment or CI artifact store.
+//
+//   report_html [--out=report.html] [--title=TEXT] RUN.jsonl [RUN2.jsonl...]
+//
+// Each input file is one run (e.g. one request of a run_many batch) and gets
+// four lanes: per-flow throughput (from the acked_bytes counter's per-bucket
+// deltas), smoothed RTT, cwnd, and bottleneck queue depth. Lines show each
+// bucket's closing value; the shaded band is the M4 min/max envelope, so
+// spikes survive decimation. Libra stage transitions (exact-time telemetry
+// events) appear as dashed markers on the throughput lane.
+//
+// Design rules (kept deliberately boring): one y-axis per lane, a fixed
+// categorical palette assigned by flow id (never re-assigned when flows come
+// and go), at most 8 plotted flows (the rest fold into a note), values
+// readable without color via the per-flow table under the lanes.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json_parse.h"
+
+namespace {
+
+using libra::JsonValue;
+using libra::json_parse;
+
+constexpr const char* kUsage =
+    "usage: report_html [--out=report.html] [--title=TEXT] RUN.jsonl...\n";
+
+// Fixed categorical palette (light / dark picks of the same hues). Flow id n
+// always wears color n % 8: identity is stable across filters and runs.
+constexpr int kPaletteSize = 8;
+constexpr const char* kLight[kPaletteSize] = {
+    "#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+    "#e87ba4", "#008300", "#4a3aa7", "#e34948"};
+constexpr const char* kDark[kPaletteSize] = {
+    "#71a7f1", "#ff9a6b", "#4ed0a0", "#ffc04d",
+    "#ff9fc2", "#39b839", "#8f7fe8", "#ff7a76"};
+constexpr int kMaxPlottedFlows = 8;
+
+// cwnd values at or above this are the "effectively unlimited" sentinel some
+// CCAs report before their first measurement; they would flatten the y-scale.
+constexpr double kCwndClamp = 1e12;
+
+const char* stage_name(int stage) {
+  switch (stage) {
+    case 0: return "exploration";
+    case 1: return "eval_first";
+    case 2: return "eval_second";
+    case 3: return "exploitation";
+    default: return "stage?";
+  }
+}
+
+struct Column {
+  double bucket_us = 0;
+  std::vector<double> first, last, min, max;
+  std::vector<std::int64_t> count;
+};
+
+struct StageEvent {
+  double t_us = 0;
+  int flow = 0;
+  int stage = 0;
+};
+
+struct RunData {
+  std::string path;
+  double interval_us = 0;
+  std::map<int, std::map<std::string, Column>> flows;   // id -> col name -> data
+  std::map<int, std::map<std::string, Column>> queues;
+  std::vector<StageEvent> stages;
+};
+
+std::string html_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v, int precision = 2) {
+  std::ostringstream os;
+  if (std::abs(v) >= 1000 || (std::abs(v) < 0.01 && v != 0)) {
+    os.precision(3);
+    os << v;
+  } else {
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+  }
+  return os.str();
+}
+
+bool load_run(const std::string& path, RunData& run) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open " << path << "\n";
+    return false;
+  }
+  run.path = path;
+  std::string line;
+  std::int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonValue v;
+    try {
+      v = json_parse(line);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << path << ":" << lineno << ": " << e.what() << "\n";
+      return false;
+    }
+    if (const JsonValue* hdr = v.find("telemetry")) {
+      (void)hdr;
+      if (const JsonValue* iv = v.find("interval_us"))
+        run.interval_us = iv->number_or(0);
+      continue;
+    }
+    if (const JsonValue* ev = v.find("ev")) {
+      if (ev->string_or("") == "stage") {
+        StageEvent se;
+        if (const JsonValue* t = v.find("t_us")) se.t_us = t->number_or(0);
+        if (const JsonValue* f = v.find("flow"))
+          se.flow = static_cast<int>(f->number_or(0));
+        if (const JsonValue* s = v.find("stage"))
+          se.stage = static_cast<int>(s->number_or(0));
+        run.stages.push_back(se);
+      }
+      continue;
+    }
+    const JsonValue* kind = v.find("series");
+    const JsonValue* id = v.find("id");
+    const JsonValue* col_name = v.find("col");
+    if (!kind || !id || !col_name) continue;
+    Column col;
+    if (const JsonValue* b = v.find("bucket_us")) col.bucket_us = b->number_or(0);
+    auto fill = [&v](const char* key, std::vector<double>& out) {
+      if (const JsonValue* arr = v.find(key); arr && arr->is_array())
+        for (const JsonValue& x : arr->array) out.push_back(x.number_or(0));
+    };
+    fill("first", col.first);
+    fill("last", col.last);
+    fill("min", col.min);
+    fill("max", col.max);
+    if (const JsonValue* arr = v.find("count"); arr && arr->is_array())
+      for (const JsonValue& x : arr->array)
+        col.count.push_back(static_cast<std::int64_t>(x.number_or(0)));
+    auto& group = kind->string_or("") == "queue" ? run.queues : run.flows;
+    group[static_cast<int>(id->number_or(0))][col_name->string_or("")] =
+        std::move(col);
+  }
+  if (run.flows.empty() && run.queues.empty()) {
+    std::cerr << "error: " << path << ": no telemetry series found\n";
+    return false;
+  }
+  return true;
+}
+
+/// One plottable series: per-bucket (center time s, line value, band lo/hi).
+struct Series {
+  std::string label;
+  int color = 0;  // palette index
+  std::vector<double> t_s, line, lo, hi;
+};
+
+Series envelope_series(const Column& col, const std::string& label, int color,
+                       double scale) {
+  Series s;
+  s.label = label;
+  s.color = color;
+  double bucket_s = col.bucket_us / 1e6;
+  for (std::size_t i = 0; i < col.last.size(); ++i) {
+    s.t_s.push_back((static_cast<double>(i) + 0.5) * bucket_s);
+    s.line.push_back(col.last[i] * scale);
+    s.lo.push_back(col.min[i] * scale);
+    s.hi.push_back(col.max[i] * scale);
+  }
+  return s;
+}
+
+/// Per-bucket rate from a cumulative byte counter: delta(last) * 8 / width.
+Series throughput_series(const Column& col, const std::string& label, int color) {
+  Series s;
+  s.label = label;
+  s.color = color;
+  double bucket_s = col.bucket_us / 1e6;
+  if (bucket_s <= 0) return s;
+  double prev = 0;
+  for (std::size_t i = 0; i < col.last.size(); ++i) {
+    double mbps = (col.last[i] - prev) * 8.0 / bucket_s / 1e6;
+    prev = col.last[i];
+    s.t_s.push_back((static_cast<double>(i) + 0.5) * bucket_s);
+    s.line.push_back(std::max(0.0, mbps));
+    s.lo.push_back(std::max(0.0, mbps));
+    s.hi.push_back(std::max(0.0, mbps));
+  }
+  return s;
+}
+
+struct Lane {
+  std::string title, unit;
+  std::vector<Series> series;
+  std::vector<StageEvent> annotations;
+  bool band = true;
+};
+
+void render_lane(std::ostream& out, const Lane& lane) {
+  constexpr double kW = 920, kH = 190;
+  constexpr double kL = 64, kR = 12, kT = 26, kB = 24;  // margins
+  const double plot_w = kW - kL - kR, plot_h = kH - kT - kB;
+
+  double t_max = 0, v_max = 0;
+  bool any = false;
+  for (const Series& s : lane.series) {
+    for (std::size_t i = 0; i < s.t_s.size(); ++i) {
+      t_max = std::max(t_max, s.t_s[i]);
+      double v = lane.band ? s.hi[i] : s.line[i];
+      if (v < kCwndClamp) {  // ignore the unlimited-cwnd sentinel for scaling
+        v_max = std::max(v_max, v);
+        any = true;
+      }
+    }
+  }
+  if (!any || t_max <= 0) {
+    out << "<p class=\"note\">(" << html_escape(lane.title)
+        << ": no samples)</p>\n";
+    return;
+  }
+  if (v_max <= 0) v_max = 1;
+  v_max *= 1.05;
+
+  auto X = [&](double t) { return kL + t / t_max * plot_w; };
+  auto Y = [&](double v) {
+    double c = std::min(v, v_max);
+    return kT + plot_h - c / v_max * plot_h;
+  };
+
+  out << "<figure><figcaption>" << html_escape(lane.title)
+      << " <span class=\"unit\">(" << html_escape(lane.unit)
+      << ")</span></figcaption>\n";
+  out << "<svg viewBox=\"0 0 " << kW << " " << kH
+      << "\" role=\"img\" aria-label=\"" << html_escape(lane.title) << "\">\n";
+
+  // Recessive grid: three horizontal rules + labeled y ticks, x ticks in s.
+  for (int g = 0; g <= 2; ++g) {
+    double v = v_max * g / 2.0;
+    double y = Y(v);
+    out << "<line class=\"grid\" x1=\"" << kL << "\" y1=\"" << y << "\" x2=\""
+        << kW - kR << "\" y2=\"" << y << "\"/>";
+    out << "<text class=\"tick\" x=\"" << kL - 6 << "\" y=\"" << y + 4
+        << "\" text-anchor=\"end\">" << fmt(v, v_max < 10 ? 2 : 0)
+        << "</text>\n";
+  }
+  for (int g = 0; g <= 4; ++g) {
+    double t = t_max * g / 4.0;
+    out << "<text class=\"tick\" x=\"" << X(t) << "\" y=\"" << kH - 8
+        << "\" text-anchor=\"middle\">" << fmt(t, 1) << "s</text>\n";
+  }
+
+  // Stage annotations: dashed verticals, colored by flow, under the data.
+  for (const StageEvent& ev : lane.annotations) {
+    double x = X(ev.t_us / 1e6);
+    out << "<line class=\"stage\" x1=\"" << x << "\" y1=\"" << kT << "\" x2=\""
+        << x << "\" y2=\"" << kT + plot_h << "\" stroke=\"var(--s"
+        << ev.flow % kPaletteSize << ")\"><title>" << stage_name(ev.stage)
+        << " flow " << ev.flow << " @ " << fmt(ev.t_us / 1e6, 3)
+        << "s</title></line>\n";
+  }
+
+  for (const Series& s : lane.series) {
+    if (s.t_s.empty()) continue;
+    if (lane.band) {
+      std::ostringstream pts;
+      for (std::size_t i = 0; i < s.t_s.size(); ++i)
+        pts << X(s.t_s[i]) << "," << Y(s.hi[i]) << " ";
+      for (std::size_t i = s.t_s.size(); i-- > 0;)
+        pts << X(s.t_s[i]) << "," << Y(s.lo[i]) << " ";
+      out << "<polygon class=\"band\" fill=\"var(--s" << s.color
+          << ")\" points=\"" << pts.str() << "\"><title>" << html_escape(s.label)
+          << " min-max envelope</title></polygon>\n";
+    }
+    std::ostringstream pts;
+    for (std::size_t i = 0; i < s.t_s.size(); ++i)
+      pts << X(s.t_s[i]) << "," << Y(s.line[i]) << " ";
+    out << "<polyline class=\"line\" stroke=\"var(--s" << s.color
+        << ")\" points=\"" << pts.str() << "\"><title>" << html_escape(s.label)
+        << "</title></polyline>\n";
+  }
+  out << "</svg></figure>\n";
+}
+
+void render_legend(std::ostream& out, const std::vector<Series>& series) {
+  if (series.size() < 2) return;  // a single series is named by the title
+  out << "<div class=\"legend\">";
+  for (const Series& s : series) {
+    out << "<span><i style=\"background:var(--s" << s.color << ")\"></i>"
+        << html_escape(s.label) << "</span>";
+  }
+  out << "</div>\n";
+}
+
+void render_run(std::ostream& out, const RunData& run) {
+  out << "<section>\n<h2>" << html_escape(run.path) << "</h2>\n";
+  out << "<p class=\"note\">sample interval " << fmt(run.interval_us / 1e3, 2)
+      << " ms, " << run.flows.size() << " flow(s), " << run.queues.size()
+      << " queue(s)";
+  if (!run.stages.empty()) out << ", " << run.stages.size() << " stage events";
+  out << "</p>\n";
+
+  int plotted = 0, folded = 0;
+  std::vector<int> flow_ids;
+  for (const auto& [id, cols] : run.flows) {
+    if (plotted < kMaxPlottedFlows) {
+      flow_ids.push_back(id);
+      ++plotted;
+    } else {
+      ++folded;
+    }
+  }
+  if (folded > 0) {
+    out << "<p class=\"note\">plotting the first " << kMaxPlottedFlows
+        << " flows; " << folded
+        << " more appear in the table only</p>\n";
+  }
+
+  auto flow_lane = [&](const char* col, const char* title, const char* unit,
+                       double scale) {
+    Lane lane;
+    lane.title = title;
+    lane.unit = unit;
+    for (int id : flow_ids) {
+      auto it = run.flows.at(id).find(col);
+      if (it == run.flows.at(id).end()) continue;
+      lane.series.push_back(envelope_series(
+          it->second, "flow " + std::to_string(id), id % kPaletteSize, scale));
+    }
+    return lane;
+  };
+
+  // Lane 1: throughput, with the Libra stage transitions overlaid (they
+  // explain the rate plateaus — exploration/evaluation/exploitation).
+  {
+    Lane lane;
+    lane.title = "Throughput";
+    lane.unit = "Mbps";
+    lane.band = false;
+    for (int id : flow_ids) {
+      auto it = run.flows.at(id).find("acked_bytes");
+      if (it == run.flows.at(id).end()) continue;
+      lane.series.push_back(throughput_series(
+          it->second, "flow " + std::to_string(id), id % kPaletteSize));
+    }
+    // Cap annotation clutter: fold to at most ~120 markers, evenly thinned.
+    std::size_t stride = run.stages.size() / 120 + 1;
+    for (std::size_t i = 0; i < run.stages.size(); i += stride)
+      lane.annotations.push_back(run.stages[i]);
+    if (stride > 1) {
+      out << "<p class=\"note\">stage markers thinned 1:" << stride << " ("
+          << run.stages.size() << " total)</p>\n";
+    }
+    render_legend(out, lane.series);
+    render_lane(out, lane);
+  }
+
+  {
+    Lane lane = flow_lane("srtt_ms", "Smoothed RTT", "ms", 1.0);
+    render_lane(out, lane);
+  }
+  {
+    Lane lane = flow_lane("cwnd_bytes", "Congestion window", "KiB", 1.0 / 1024);
+    render_lane(out, lane);
+  }
+  {
+    Lane lane;
+    lane.title = "Bottleneck queue depth";
+    lane.unit = "KiB";
+    for (const auto& [id, cols] : run.queues) {
+      auto it = cols.find("depth_bytes");
+      if (it == cols.end()) continue;
+      lane.series.push_back(envelope_series(it->second,
+                                            "queue " + std::to_string(id),
+                                            id % kPaletteSize, 1.0 / 1024));
+    }
+    render_lane(out, lane);
+  }
+
+  // Table view: every flow (including folded ones), no color required.
+  out << "<table><thead><tr><th>flow</th><th>mean throughput (Mbps)</th>"
+         "<th>srtt last (ms)</th><th>srtt max (ms)</th>"
+         "<th>cwnd max (KiB)</th><th>losses</th></tr></thead><tbody>\n";
+  for (const auto& [id, cols] : run.flows) {
+    double thr = 0, srtt_last = 0, srtt_max = 0, cwnd_max = 0, losses = 0;
+    if (auto it = cols.find("acked_bytes"); it != cols.end() &&
+                                            !it->second.last.empty()) {
+      double dur_s = it->second.bucket_us / 1e6 *
+                     static_cast<double>(it->second.last.size());
+      if (dur_s > 0) thr = it->second.last.back() * 8.0 / dur_s / 1e6;
+    }
+    if (auto it = cols.find("srtt_ms"); it != cols.end() &&
+                                        !it->second.last.empty()) {
+      srtt_last = it->second.last.back();
+      for (double v : it->second.max) srtt_max = std::max(srtt_max, v);
+    }
+    if (auto it = cols.find("cwnd_bytes"); it != cols.end()) {
+      for (double v : it->second.max)
+        if (v < kCwndClamp) cwnd_max = std::max(cwnd_max, v);
+    }
+    if (auto it = cols.find("lost_packets"); it != cols.end() &&
+                                             !it->second.last.empty()) {
+      losses = it->second.last.back();
+    }
+    out << "<tr><td><i class=\"chip\" style=\"background:var(--s"
+        << id % kPaletteSize << ")\"></i>" << id << "</td><td>" << fmt(thr)
+        << "</td><td>" << fmt(srtt_last, 1) << "</td><td>" << fmt(srtt_max, 1)
+        << "</td><td>" << fmt(cwnd_max / 1024, 1) << "</td><td>"
+        << fmt(losses, 0) << "</td></tr>\n";
+  }
+  out << "</tbody></table>\n</section>\n";
+}
+
+void render_document(std::ostream& out, const std::string& title,
+                     const std::vector<RunData>& runs) {
+  out << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+         "<meta charset=\"utf-8\">\n"
+         "<meta name=\"viewport\" content=\"width=device-width\">\n"
+         "<title>"
+      << html_escape(title) << "</title>\n<style>\n";
+  out << ":root{--bg:#fcfcfb;--ink:#1a1a19;--muted:#6b6b68;--grid:#e4e4e0;";
+  for (int i = 0; i < kPaletteSize; ++i)
+    out << "--s" << i << ":" << kLight[i] << ";";
+  out << "}\n@media (prefers-color-scheme: dark){:root{--bg:#1a1a19;"
+         "--ink:#fcfcfb;--muted:#9b9b96;--grid:#3a3a37;";
+  for (int i = 0; i < kPaletteSize; ++i)
+    out << "--s" << i << ":" << kDark[i] << ";";
+  out << "}}\n";
+  out << "body{background:var(--bg);color:var(--ink);font:15px/1.5 "
+         "system-ui,sans-serif;max-width:980px;margin:2rem auto;padding:0 "
+         "1rem}\n"
+         "h1{font-size:1.4rem}h2{font-size:1.1rem;margin-top:2.2rem}\n"
+         ".note{color:var(--muted);font-size:.85rem}\n"
+         ".unit{color:var(--muted);font-weight:normal}\n"
+         "figure{margin:0 0 1.2rem}figcaption{font-weight:600;font-size:.95rem;"
+         "margin-bottom:.2rem}\n"
+         "svg{width:100%;height:auto;display:block}\n"
+         ".grid{stroke:var(--grid);stroke-width:1}\n"
+         ".tick{fill:var(--muted);font-size:11px}\n"
+         ".line{fill:none;stroke-width:2;stroke-linejoin:round}\n"
+         ".band{opacity:.16;stroke:none}\n"
+         ".stage{stroke-width:1;stroke-dasharray:3 3;opacity:.55}\n"
+         ".legend{display:flex;flex-wrap:wrap;gap:.4rem 1rem;font-size:.85rem;"
+         "margin:.3rem 0}\n"
+         ".legend i,.chip{display:inline-block;width:10px;height:10px;"
+         "border-radius:2px;margin-right:.35rem}\n"
+         "table{border-collapse:collapse;font-size:.85rem;margin:.6rem 0}\n"
+         "td,th{border:1px solid var(--grid);padding:.25rem .6rem;"
+         "text-align:right}th:first-child,td:first-child{text-align:left}\n";
+  out << "</style>\n</head>\n<body>\n<h1>" << html_escape(title) << "</h1>\n";
+  for (const RunData& run : runs) render_run(out, run);
+  out << "</body>\n</html>\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "report.html";
+  std::string title = "Telemetry report";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a.rfind("--out=", 0) == 0) {
+      out_path = std::string(a.substr(6));
+    } else if (a.rfind("--title=", 0) == 0) {
+      title = std::string(a.substr(8));
+    } else if (a.rfind("--", 0) == 0) {
+      std::cerr << kUsage;
+      return 2;
+    } else {
+      paths.emplace_back(a);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  std::vector<RunData> runs;
+  for (const std::string& path : paths) {
+    RunData run;
+    if (!load_run(path, run)) return 1;
+    runs.push_back(std::move(run));
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << "\n";
+    return 1;
+  }
+  render_document(out, title, runs);
+  out.close();
+  std::cerr << "wrote " << out_path << " (" << runs.size() << " run(s))\n";
+  return 0;
+}

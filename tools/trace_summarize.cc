@@ -3,14 +3,27 @@
 // percentile tables — the offline counterpart of harness/runner.h's
 // summarize(). Run a bench with --record=PREFIX (or tools/record_run), then:
 //
-//   trace_summarize --warmup=2 [--horizon=SECS] trace1.jsonl [trace2.jsonl...]
+//   trace_summarize [--warmup=SECS] [--horizon=SECS] [--flow=N]
+//                   [--since=SECS] [--until=SECS] [--event=KIND]
+//                   TRACE.jsonl...
 //
-// Throughput and delay over [warmup, horizon) reproduce the bench's printed
-// run summary, because both derive from the same per-ACK event stream. When
-// the trace was recorded with trace_meta on, the end-of-run "run" event's
-// wall/sim times are reported as a simulation speed ratio.
+// Summary mode (default): throughput and delay over [warmup, horizon)
+// reproduce the bench's printed run summary, because both derive from the
+// same per-ACK event stream. Traces that carry enqueue/deliver pairs also get
+// a per-flow queueing-delay breakdown (bottleneck sojourn percentiles,
+// matched on (flow, seq)). When the trace was recorded with trace_meta on,
+// the end-of-run "run" event's wall/sim times are reported as a simulation
+// speed ratio.
+//
+// Query mode (--event=KIND): prints the matching raw JSONL lines to stdout
+// (a grep that understands the schema) and the match count to stderr.
+//
+// Filters compose in both modes: --flow restricts to one flow id and
+// --since/--until clip to a sim-time window (seconds).
+//
 // Exits non-zero if any input yields no events (truncated/empty trace) or
-// contains unparseable lines (corrupt/truncated mid-write).
+// contains unparseable lines (corrupt/truncated mid-write). Unknown flags
+// exit 2 with the usage text.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -24,6 +37,25 @@
 #include "harness/report.h"
 
 namespace {
+
+constexpr const char* kUsage =
+    "usage: trace_summarize [--warmup=SECS] [--horizon=SECS] [--flow=N]\n"
+    "                       [--since=SECS] [--until=SECS] [--event=KIND]\n"
+    "                       TRACE.jsonl...\n"
+    "\n"
+    "  --warmup/--horizon  summary window (stats over [warmup, horizon))\n"
+    "  --flow=N            restrict to one flow id (both modes)\n"
+    "  --since/--until     clip events to a sim-time window (both modes)\n"
+    "  --event=KIND        query mode: print raw matching lines + count\n"
+    "                      (KIND: send ack loss enq deliver drop rate stage\n"
+    "                       cycle cca run)\n";
+
+struct Options {
+  double warmup_s = 0, horizon_s = 0;
+  double since_s = -1, until_s = -1;  // <0 => unbounded
+  int flow = -1;                      // <0 => all flows
+  std::string event;                  // non-empty => query mode
+};
 
 // The recorder writes flat one-line objects with no whitespace, so a keyed
 // scan is sufficient — no general JSON parser needed.
@@ -69,9 +101,55 @@ struct FlowStats {
   std::int64_t acks = 0, losses = 0, sends = 0;
   double acked_bytes = 0;
   std::vector<double> rtts_ms;
+  std::vector<double> sojourns_ms;  // enqueue -> deliver, matched on seq
 };
 
-int summarize_file(const std::string& path, double warmup_s, double horizon_s) {
+/// True when the event passes the --flow / --since / --until filters.
+bool passes(const Options& opt, double t, int flow) {
+  if (opt.flow >= 0 && flow != opt.flow) return false;
+  if (opt.since_s >= 0 && t < opt.since_s) return false;
+  if (opt.until_s >= 0 && t >= opt.until_s) return false;
+  return true;
+}
+
+int query_file(const std::string& path, const Options& opt) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open " << path << "\n";
+    return 1;
+  }
+  std::int64_t matched = 0, total = 0, parse_errors = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    double t = 0;
+    std::string_view ev;
+    if (!find_number(line, "t", t) || !find_raw(line, "ev", ev)) {
+      ++parse_errors;
+      continue;
+    }
+    ++total;
+    if (ev != opt.event) continue;
+    double flow_d = -1;
+    find_number(line, "flow", flow_d);
+    if (!passes(opt, t, static_cast<int>(flow_d))) continue;
+    std::cout << line << "\n";
+    ++matched;
+  }
+  if (total == 0) {
+    std::cerr << "error: " << path << ": no trace events parsed\n";
+    return 1;
+  }
+  std::cerr << path << ": " << matched << " " << opt.event << " events matched\n";
+  if (parse_errors > 0) {
+    std::cerr << "error: " << parse_errors
+              << " unparseable lines (corrupt or truncated trace)\n";
+    return 1;
+  }
+  return 0;
+}
+
+int summarize_file(const std::string& path, const Options& opt) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "error: cannot open " << path << "\n";
@@ -81,6 +159,9 @@ int summarize_file(const std::string& path, double warmup_s, double horizon_s) {
   std::map<std::string, std::int64_t> kind_counts;
   std::map<std::string, std::int64_t> drop_reasons;
   std::map<int, FlowStats> flows;
+  // Outstanding enqueue times by (flow, seq): bottleneck sojourn is the gap
+  // to the matching deliver event. Drops erase the entry (never delivered).
+  std::map<std::pair<int, std::int64_t>, double> enqueued;
   double max_t = 0;
   std::int64_t total_events = 0, parse_errors = 0;
   double run_wall_s = 0, run_sim_s = 0;  // from the optional "run" meta event
@@ -96,23 +177,46 @@ int summarize_file(const std::string& path, double warmup_s, double horizon_s) {
     }
     ++total_events;
     max_t = std::max(max_t, t);
-    ++kind_counts[std::string(ev)];
 
     double flow_d = -1;
     find_number(line, "flow", flow_d);
     int flow = static_cast<int>(flow_d);
 
     if (ev == "run") {  // end-of-run metadata, not a flow event
+      ++kind_counts[std::string(ev)];
       find_number(line, "wall_s", run_wall_s);
       find_number(line, "sim_s", run_sim_s);
       continue;
     }
+    if (!passes(opt, t, flow)) continue;
+    ++kind_counts[std::string(ev)];
+
     if (ev == "drop") {
       std::string_view reason;
       if (find_raw(line, "reason", reason)) ++drop_reasons[std::string(reason)];
+      double seq = -1;
+      if (find_number(line, "seq", seq))
+        enqueued.erase({flow, static_cast<std::int64_t>(seq)});
       continue;
     }
-    if (t < warmup_s || (horizon_s > 0 && t >= horizon_s)) continue;
+    if (ev == "enq") {
+      double seq = -1;
+      if (find_number(line, "seq", seq))
+        enqueued[{flow, static_cast<std::int64_t>(seq)}] = t;
+      continue;
+    }
+    if (ev == "deliver") {
+      double seq = -1;
+      if (find_number(line, "seq", seq)) {
+        auto it = enqueued.find({flow, static_cast<std::int64_t>(seq)});
+        if (it != enqueued.end()) {
+          flows[flow].sojourns_ms.push_back((t - it->second) * 1e3);
+          enqueued.erase(it);
+        }
+      }
+      continue;
+    }
+    if (t < opt.warmup_s || (opt.horizon_s > 0 && t >= opt.horizon_s)) continue;
     if (ev == "ack") {
       FlowStats& f = flows[flow];
       ++f.acks;
@@ -131,11 +235,11 @@ int summarize_file(const std::string& path, double warmup_s, double horizon_s) {
     return 1;
   }
 
-  double horizon = horizon_s > 0 ? horizon_s : max_t;
-  double window = horizon - warmup_s;
+  double horizon = opt.horizon_s > 0 ? opt.horizon_s : max_t;
+  double window = horizon - opt.warmup_s;
 
   libra::section(path + "  (" + std::to_string(total_events) + " events, window [" +
-                 libra::fmt(warmup_s, 1) + "s, " + libra::fmt(horizon, 1) + "s))");
+                 libra::fmt(opt.warmup_s, 1) + "s, " + libra::fmt(horizon, 1) + "s))");
 
   libra::Table kinds({"event", "count"});
   for (const auto& [kind, count] : kind_counts)
@@ -155,6 +259,7 @@ int summarize_file(const std::string& path, double warmup_s, double horizon_s) {
                          "rtt mean (ms)", "loss rate"});
   double total_thr = 0, rtt_weighted = 0;
   std::int64_t rtt_samples = 0;
+  bool any_sojourn = false;
   for (auto& [flow, f] : flows) {
     std::sort(f.rtts_ms.begin(), f.rtts_ms.end());
     double thr = window > 0 ? f.acked_bytes * 8.0 / window / 1e6 : 0;
@@ -166,6 +271,7 @@ int summarize_file(const std::string& path, double warmup_s, double horizon_s) {
     double loss_rate = denom > 0 ? static_cast<double>(f.losses) / denom : 0;
     rtt_weighted += mean * static_cast<double>(f.acks);
     rtt_samples += f.acks;
+    any_sojourn |= !f.sojourns_ms.empty();
     per_flow.add_row({std::to_string(flow), std::to_string(f.sends),
                       std::to_string(f.acks), std::to_string(f.losses),
                       libra::fmt(thr, 2), libra::fmt(percentile(f.rtts_ms, 50), 1),
@@ -175,6 +281,27 @@ int summarize_file(const std::string& path, double warmup_s, double horizon_s) {
   }
   std::cout << "\n";
   per_flow.print();
+
+  if (any_sojourn) {
+    // Queueing-delay breakdown: time each packet spent in the bottleneck
+    // queue, from its enq event to the matching deliver (dropped packets
+    // excluded). This separates standing-queue delay from propagation delay,
+    // which the RTT columns above mix together.
+    libra::Table qd({"flow", "delivered", "queue p50 (ms)", "queue p90 (ms)",
+                     "queue p99 (ms)", "queue max (ms)"});
+    for (auto& [flow, f] : flows) {
+      if (f.sojourns_ms.empty()) continue;
+      std::sort(f.sojourns_ms.begin(), f.sojourns_ms.end());
+      qd.add_row({std::to_string(flow),
+                  std::to_string(f.sojourns_ms.size()),
+                  libra::fmt(percentile(f.sojourns_ms, 50), 2),
+                  libra::fmt(percentile(f.sojourns_ms, 90), 2),
+                  libra::fmt(percentile(f.sojourns_ms, 99), 2),
+                  libra::fmt(f.sojourns_ms.back(), 2)});
+    }
+    std::cout << "\n";
+    qd.print();
+  }
 
   double avg_delay =
       rtt_samples > 0 ? rtt_weighted / static_cast<double>(rtt_samples) : 0;
@@ -196,28 +323,36 @@ int summarize_file(const std::string& path, double warmup_s, double horizon_s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  double warmup_s = 0, horizon_s = 0;
+  Options opt;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     if (a.rfind("--warmup=", 0) == 0) {
-      warmup_s = std::atof(std::string(a.substr(9)).c_str());
+      opt.warmup_s = std::atof(std::string(a.substr(9)).c_str());
     } else if (a.rfind("--horizon=", 0) == 0) {
-      horizon_s = std::atof(std::string(a.substr(10)).c_str());
+      opt.horizon_s = std::atof(std::string(a.substr(10)).c_str());
+    } else if (a.rfind("--flow=", 0) == 0) {
+      opt.flow = std::atoi(std::string(a.substr(7)).c_str());
+    } else if (a.rfind("--since=", 0) == 0) {
+      opt.since_s = std::atof(std::string(a.substr(8)).c_str());
+    } else if (a.rfind("--until=", 0) == 0) {
+      opt.until_s = std::atof(std::string(a.substr(8)).c_str());
+    } else if (a.rfind("--event=", 0) == 0) {
+      opt.event = std::string(a.substr(8));
     } else if (a.rfind("--", 0) == 0) {
-      std::cerr << "usage: trace_summarize [--warmup=SECS] [--horizon=SECS] "
-                   "TRACE.jsonl...\n";
+      std::cerr << kUsage;
       return 2;
     } else {
       paths.emplace_back(a);
     }
   }
   if (paths.empty()) {
-    std::cerr << "usage: trace_summarize [--warmup=SECS] [--horizon=SECS] "
-                 "TRACE.jsonl...\n";
+    std::cerr << kUsage;
     return 2;
   }
   int rc = 0;
-  for (const std::string& path : paths) rc |= summarize_file(path, warmup_s, horizon_s);
+  for (const std::string& path : paths) {
+    rc |= opt.event.empty() ? summarize_file(path, opt) : query_file(path, opt);
+  }
   return rc;
 }
