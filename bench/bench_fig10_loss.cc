@@ -30,9 +30,11 @@ int main(int argc, char** argv) {
     }
   }
   RunManyOptions opts;
-  opts.on_progress = [](std::size_t done, std::size_t total) {
-    if (done % 10 == 0 || done == total)
-      std::cerr << "fig10: " << done << "/" << total << " runs done\n";
+  opts.on_progress = [](const RunProgress& p) {
+    if (p.done % 10 == 0 || p.done == p.total)
+      std::cerr << "fig10: " << p.done << "/" << p.total << " runs ("
+                << static_cast<int>(p.completed_flow_seconds) << "/"
+                << static_cast<int>(p.total_flow_seconds) << " flow-s)\n";
   };
   std::vector<RunSummary> results = run_many(batch, default_pool(), opts);
 

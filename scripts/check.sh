@@ -101,6 +101,19 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   grep -q "</html>" "$TRACE_DIR/tel.html" || {
     echo "telemetry smoke: report_html document not closed" >&2; exit 1; }
   echo "telemetry smoke: ok"
+
+  echo "== fleet smoke: sharded engine must match serial bitwise =="
+  # The fleet engine's determinism promise: the sharded run emits a JSON
+  # summary byte-identical to the serial run at any thread count. Exercise
+  # the 100-flow incast with two worker threads — the config the ISSUE names.
+  ./build/tools/fleet_run --topo=incast --flows=100 --duration=3 \
+    --mode=serial > "$TRACE_DIR/fleet_serial.json" 2>/dev/null
+  ./build/tools/fleet_run --topo=incast --flows=100 --duration=3 \
+    --mode=sharded --threads=2 > "$TRACE_DIR/fleet_sharded.json" 2>/dev/null
+  diff "$TRACE_DIR/fleet_serial.json" "$TRACE_DIR/fleet_sharded.json" || {
+    echo "fleet smoke: sharded summary diverged from serial" >&2; exit 1; }
+  ./build/tools/json_check "$TRACE_DIR/fleet_serial.json"
+  echo "fleet smoke: ok"
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
@@ -111,8 +124,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # concurrent metrics merges, logger sinks, and the profiler's thread-local
   # trees + report-time merge); building the whole tree under TSan is
   # unnecessary for the guarantee and triples the cycle time.
-  cmake --build build-tsan -j "$JOBS" --target parallel_test multiflow_train_test sim_test util_test obs_test telemetry_test profiler_test rl_test
-  (cd build-tsan && ./tests/parallel_test && ./tests/multiflow_train_test && ./tests/sim_test && ./tests/util_test && ./tests/obs_test && ./tests/telemetry_test && ./tests/profiler_test && ./tests/rl_test)
+  cmake --build build-tsan -j "$JOBS" --target parallel_test multiflow_train_test sim_test util_test obs_test telemetry_test profiler_test rl_test fleet_test
+  (cd build-tsan && ./tests/parallel_test && ./tests/multiflow_train_test && ./tests/sim_test && ./tests/util_test && ./tests/obs_test && ./tests/telemetry_test && ./tests/profiler_test && ./tests/rl_test && ./tests/fleet_test)
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then

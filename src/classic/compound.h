@@ -76,6 +76,9 @@ class CompoundTcp final : public CongestionControl {
   RateBps pacing_rate() const override { return 0; }
   std::int64_t cwnd_bytes() const override { return window(); }
   std::string name() const override { return "compound"; }
+  // Pure ACK/loss clocking: nothing to do on the periodic timer, so the
+  // fleet engine may skip this flow's tick scan entirely.
+  bool wants_tick() const override { return false; }
 
   std::int64_t delay_window() const { return dwnd_; }
 

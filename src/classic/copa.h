@@ -61,6 +61,9 @@ class Copa final : public CongestionControl {
   RateBps pacing_rate() const override { return 0; }
   std::int64_t cwnd_bytes() const override { return cwnd_; }
   std::string name() const override { return "copa"; }
+  // Pure ACK/loss clocking: nothing to do on the periodic timer, so the
+  // fleet engine may skip this flow's tick scan entirely.
+  bool wants_tick() const override { return false; }
 
  private:
   void update_velocity(bool increase, SimTime now, SimDuration rtt) {

@@ -26,6 +26,9 @@ class Cubic final : public CongestionControl, public WindowAdjustable {
   RateBps pacing_rate() const override { return 0; }
   std::int64_t cwnd_bytes() const override { return cwnd_; }
   std::string name() const override { return "cubic"; }
+  // Pure ACK/loss clocking: nothing to do on the periodic timer, so the
+  // fleet engine may skip this flow's tick scan entirely.
+  bool wants_tick() const override { return false; }
 
   double w_max_packets() const { return w_max_; }
 

@@ -33,6 +33,9 @@ class NewReno final : public CongestionControl {
   RateBps pacing_rate() const override { return 0; }
   std::int64_t cwnd_bytes() const override { return cwnd_; }
   std::string name() const override { return "newreno"; }
+  // Pure ACK/loss clocking: nothing to do on the periodic timer, so the
+  // fleet engine may skip this flow's tick scan entirely.
+  bool wants_tick() const override { return false; }
 
  private:
   std::int64_t mss_;

@@ -49,6 +49,9 @@ class SproutEwma final : public CongestionControl {
 
   std::int64_t cwnd_bytes() const override { return kInfiniteCwnd; }
   std::string name() const override { return "sprout"; }
+  // Pure ACK/loss clocking: nothing to do on the periodic timer, so the
+  // fleet engine may skip this flow's tick scan entirely.
+  bool wants_tick() const override { return false; }
 
  private:
   SproutParams params_;

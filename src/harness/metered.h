@@ -32,6 +32,7 @@ class MeteredCca final : public CongestionControl {
     OverheadMeter::Scope s(*meter_);
     inner_->on_tick(now);
   }
+  bool wants_tick() const override { return inner_->wants_tick(); }
 
   void bind_recorder(FlightRecorder* rec, int flow_id) override {
     CongestionControl::bind_recorder(rec, flow_id);

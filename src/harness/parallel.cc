@@ -24,6 +24,17 @@ ThreadPool& default_pool() {
   return pool;
 }
 
+double request_flow_seconds(const RunRequest& request) {
+  double total = 0;
+  const SimTime duration = request.scenario.duration;
+  for (const FlowSpec& flow : request.flows) {
+    const SimTime start = std::clamp<SimTime>(flow.start, 0, duration);
+    const SimTime stop = std::clamp<SimTime>(flow.stop, start, duration);
+    total += to_seconds(stop - start);
+  }
+  return total;
+}
+
 namespace {
 
 // Shared state of one chunked loop. Helpers hold it by shared_ptr: a helper
@@ -113,7 +124,16 @@ std::vector<RunSummary> run_many(const std::vector<RunRequest>& requests,
   }
   std::vector<RunSummary> results(requests.size());
   std::mutex progress_mu;
-  std::size_t done = 0;
+  RunProgress progress;
+  progress.total = requests.size();
+  std::vector<double> flow_seconds;
+  if (options.on_progress) {
+    flow_seconds.reserve(requests.size());
+    for (const RunRequest& req : requests) {
+      flow_seconds.push_back(request_flow_seconds(req));
+      progress.total_flow_seconds += flow_seconds.back();
+    }
+  }
   parallel_for_chunked(pool, 0, requests.size(), 1, [&](std::size_t i) {
     if (options.cancel && options.cancel->load(std::memory_order_relaxed)) return;
     const RunRequest& req = requests[i];
@@ -137,8 +157,9 @@ std::vector<RunSummary> run_many(const std::vector<RunRequest>& requests,
     }
     if (options.on_progress) {
       std::lock_guard<std::mutex> lock(progress_mu);
-      ++done;
-      options.on_progress(done, requests.size());
+      ++progress.done;
+      progress.completed_flow_seconds += flow_seconds[i];
+      options.on_progress(progress);
     }
   });
   return results;

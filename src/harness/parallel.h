@@ -46,12 +46,29 @@ struct RunRequest {
                            std::uint64_t seed, SimDuration warmup = sec(2));
 };
 
+/// Snapshot handed to RunManyOptions::on_progress after each completed run.
+struct RunProgress {
+  std::size_t done = 0;   ///< Runs completed so far (including this one).
+  std::size_t total = 0;  ///< Runs in the batch.
+  /// Simulated flow-seconds completed so far / in the whole batch: for each
+  /// run, the sum over its flows of the active interval clamped to the
+  /// scenario duration ([start, min(stop, duration))). Weights progress by
+  /// how much simulated work each run carries, so a batch mixing short and
+  /// long scenarios reports smoother progress than the raw run count.
+  double completed_flow_seconds = 0;
+  double total_flow_seconds = 0;
+};
+
+/// Flow-seconds one request contributes to RunProgress (see above).
+double request_flow_seconds(const RunRequest& request);
+
 /// Batch-level switches for run_many. All optional; none affect the returned
 /// summaries (determinism guarantee unchanged).
 struct RunManyOptions {
-  /// Fired once per completed run with (done, total), serialized under an
-  /// internal mutex so the callback never runs concurrently with itself.
-  std::function<void(std::size_t done, std::size_t total)> on_progress;
+  /// Fired once per completed run, serialized under an internal mutex so the
+  /// callback never runs concurrently with itself. `done`/`total` count runs;
+  /// the flow-seconds fields weight progress by simulated work.
+  std::function<void(const RunProgress&)> on_progress;
   /// Cooperative cancellation: when *cancel becomes true, runs that have not
   /// started are skipped (their result slots keep the default RunSummary,
   /// recognizable by empty .flows). In-flight runs finish normally.

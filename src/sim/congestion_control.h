@@ -60,6 +60,13 @@ class CongestionControl {
   /// when no ACKs arrive.
   virtual void on_tick(SimTime /*now*/) {}
 
+  /// Whether on_tick does anything. The fleet engine's per-shard scan skips
+  /// the whole per-tick path for window-limited flows whose controller
+  /// returns false here, which is what keeps 1000-flow scenarios cheap.
+  /// Defaults to true (always safe); purely ACK/loss-clocked algorithms
+  /// override to false. Must be constant over the controller's lifetime.
+  virtual bool wants_tick() const { return true; }
+
   /// Pacing rate in bits/s; return 0 to let the sender derive pacing from the
   /// congestion window (classic window-driven behaviour).
   virtual RateBps pacing_rate() const = 0;

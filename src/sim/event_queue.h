@@ -59,9 +59,39 @@ class EventQueue {
     } else {
       slot = claim(cold_slots_, free_cold_, Callback(std::forward<Fn>(fn)));
     }
-    heap_.push_back(Key{t, next_seq_++, slot});
+    heap_.push_back(Key{t, (*seq_src_)++, slot});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
     if (heap_.size() > max_pending_) max_pending_ = heap_.size();
+  }
+
+  /// Schedules a pre-built callback with an explicit ordering key instead of
+  /// the internal insertion sequence. The fleet engine uses this to give
+  /// cross-shard messages a (source shard, source sequence) key that sorts
+  /// the same whether the queue is the single serial queue or a per-shard
+  /// one — the foundation of its bitwise serial==sharded guarantee.
+  void schedule_keyed(SimTime t, std::uint64_t key, Callback fn) {
+    if (t < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
+    std::uint32_t slot = claim(cold_slots_, free_cold_, std::move(fn));
+    heap_.push_back(Key{t, key, slot});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    if (heap_.size() > max_pending_) max_pending_ = heap_.size();
+  }
+
+  /// Redirects the insertion-sequence counter used by schedule_at/schedule_in.
+  /// The fleet engine points this at a per-shard counter so ordering keys are
+  /// a pure function of the shard topology; nullptr restores the default
+  /// internal counter. The counter's high bits are part of the key, so
+  /// sources must hand out globally unique values.
+  void set_seq_source(std::uint64_t* src) { seq_src_ = src ? src : &next_seq_; }
+
+  /// Called right before each popped event runs, with the event's ordering
+  /// key. The fleet engine's serial mode uses it to recover which shard an
+  /// event belongs to (the key's high bits) and switch the sequence source
+  /// accordingly. One predicted-not-taken branch when unset.
+  using PopHook = void (*)(void* ctx, std::uint64_t key);
+  void set_pop_hook(PopHook hook, void* ctx) {
+    pop_hook_ = hook;
+    pop_ctx_ = ctx;
   }
 
   template <typename Fn>
@@ -87,6 +117,7 @@ class EventQueue {
     heap_.pop_back();
     now_ = key.time;
     ++processed_;
+    if (pop_hook_) pop_hook_(pop_ctx_, key.seq);
     // Move the callback out and recycle its slot *before* invoking: the
     // callback is free to schedule new events, which may reuse the slot.
     if (key.slot & kHotBit) {
@@ -106,6 +137,14 @@ class EventQueue {
   void run_until(SimTime t) {
     while (!heap_.empty() && heap_.front().time <= t) run_next();
     if (t > now_) now_ = t;
+  }
+
+  /// Runs every event with time strictly < t and leaves the clock at the last
+  /// executed event. Window processing for the sharded engine: a lookahead
+  /// window [T, T+L) must exclude its right edge, where cross-shard messages
+  /// merged at the barrier may still land.
+  void run_before(SimTime t) {
+    while (!heap_.empty() && heap_.front().time < t) run_next();
   }
 
   void run_for(SimDuration d) { run_until(now_ + d); }
@@ -163,6 +202,9 @@ class EventQueue {
   std::vector<std::uint32_t> free_cold_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t* seq_src_ = &next_seq_;
+  PopHook pop_hook_ = nullptr;
+  void* pop_ctx_ = nullptr;
   std::uint64_t processed_ = 0;
   std::size_t max_pending_ = 0;
 };

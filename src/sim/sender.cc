@@ -5,6 +5,7 @@
 
 #include "obs/profiler.h"
 #include "obs/telemetry.h"
+#include "sim/flow_soa.h"
 
 namespace libra {
 
@@ -20,10 +21,61 @@ void Sender::start() {
   started_ = true;
   SimTime at = std::max(config_.start_time, events_.now());
   events_.schedule_at(at, [this] {
+    running_ = true;
     next_send_time_ = events_.now();
     maybe_send();
-    on_tick();
+    if (config_.external_tick) {
+      sync_hot();  // the owner's shard scan takes over from here
+    } else {
+      on_tick();
+    }
   });
+}
+
+void Sender::bind_fleet_slot(FleetFlowHot* hot, std::size_t idx) {
+  hot_ = hot;
+  hot_idx_ = idx;
+  wants_tick_ = cca_->wants_tick();
+  if (hot_) {
+    hot_->stop_time[idx] = config_.stop_time;
+    sync_hot();
+  }
+}
+
+void Sender::run_tick(SimTime now) {
+  if (now >= config_.stop_time) {
+    sync_hot();
+    return;
+  }
+  detect_rto_losses();
+  cca_->on_tick(now);
+  if (recorder_) maybe_record_rate();
+  maybe_send();
+  maybe_finish();
+  sync_hot();
+}
+
+void Sender::maybe_finish() {
+  if (finished_time_ >= 0 || config_.byte_budget < 0) return;
+  if (budget_exhausted() && outstanding_.empty())
+    finished_time_ = events_.now();
+}
+
+// Refreshes this sender's SoA row. Called at the end of every state-changing
+// entry point (ACK delivery, tick, pacing-timer send, start), so the shard
+// scan's skip decision is always based on post-event state.
+void Sender::sync_hot() {
+  if (!hot_) return;
+  const std::size_t i = hot_idx_;
+  hot_->rto_deadline[i] = outstanding_.empty()
+                              ? kSimTimeMax
+                              : outstanding_.front().sent_time + rto();
+  hot_->send_headroom[i] =
+      budget_exhausted() ? 0 : cca_->cwnd_bytes() - bytes_in_flight_;
+  std::uint8_t flags = 0;
+  if (running_ && finished_time_ < 0) flags |= FleetFlowHot::kActive;
+  if (wants_tick_) flags |= FleetFlowHot::kWantsTick;
+  hot_->flags[i] = flags;
 }
 
 void Sender::replace_cca(std::unique_ptr<CongestionControl> cca) {
@@ -31,6 +83,8 @@ void Sender::replace_cca(std::unique_ptr<CongestionControl> cca) {
   cca_ = std::move(cca);
   if (recorder_) cca_->bind_recorder(recorder_, config_.flow_id);
   if (telemetry_) cca_->bind_telemetry(telemetry_, config_.flow_id);
+  wants_tick_ = cca_->wants_tick();
+  sync_hot();
 }
 
 void Sender::fill_telemetry(TelemetryFlowSample& sample) const {
@@ -71,6 +125,7 @@ void Sender::maybe_send() {
   if (now < config_.start_time || now >= config_.stop_time) return;
 
   while (true) {
+    if (budget_exhausted()) return;  // finite flow: everything is on the wire
     if (bytes_in_flight_ + config_.packet_bytes > cca_->cwnd_bytes()) return;
 
     RateBps rate = effective_pacing_rate();
@@ -83,6 +138,7 @@ void Sender::maybe_send() {
           events_.schedule_at(next_send_time_, [this] {
             send_event_scheduled_ = false;
             maybe_send();
+            sync_hot();
           });
         }
         return;
@@ -175,6 +231,8 @@ void Sender::on_ack_packet(const Packet& pkt) {
 
   detect_packet_threshold_losses();
   maybe_send();
+  maybe_finish();
+  sync_hot();
 }
 
 void Sender::detect_packet_threshold_losses() {
@@ -220,10 +278,7 @@ void Sender::declare_lost(std::uint64_t seq, const Outstanding& info,
 void Sender::on_tick() {
   const SimTime now = events_.now();
   if (now >= config_.stop_time) return;
-  detect_rto_losses();
-  cca_->on_tick(now);
-  if (recorder_) maybe_record_rate();
-  maybe_send();
+  run_tick(now);
   events_.schedule_in(config_.tick_interval, [this] { on_tick(); });
 }
 

@@ -19,6 +19,7 @@
 namespace libra {
 
 struct TelemetryFlowSample;
+struct FleetFlowHot;
 
 struct SenderConfig {
   int flow_id = 0;
@@ -32,6 +33,14 @@ struct SenderConfig {
   /// Floor on the effective pacing rate so a misbehaving controller cannot
   /// silence the flow entirely (matches the minimum rates learned agents use).
   RateBps min_pacing_rate = kbps(64);
+  /// Total bytes the flow has to send; negative means backlogged (infinite).
+  /// A finite flow stops initiating sends once the budget is on the wire and
+  /// finishes when every budgeted packet is acked or declared lost (the sim
+  /// never retransmits — QUIC-style abstract stream).
+  std::int64_t byte_budget = -1;
+  /// Fleet-engine mode: the owner drives run_tick() from its shard scan
+  /// instead of this sender scheduling its own periodic timer event.
+  bool external_tick = false;
 };
 
 class Sender {
@@ -70,6 +79,20 @@ class Sender {
 
   /// Invoked by the network when the ACK for `pkt` reaches the sender.
   void on_ack_packet(const Packet& pkt);
+
+  /// One semantic tick (RTO scan, CCA on_tick, send attempt) without the
+  /// self-rescheduling timer — the fleet engine's shard scan calls this for
+  /// flows its SoA state says have work to do.
+  void run_tick(SimTime now);
+
+  /// Points this sender at row `idx` of the fleet engine's SoA hot state; the
+  /// sender refreshes the row after every state-changing entry point.
+  void bind_fleet_slot(FleetFlowHot* hot, std::size_t idx);
+
+  /// Finite flows: set once, when the byte budget is fully acked-or-lost.
+  bool finished() const { return finished_time_ >= 0; }
+  SimTime finished_time() const { return finished_time_; }
+  std::int64_t delivered_bytes() const { return delivered_bytes_; }
 
   CongestionControl& cca() { return *cca_; }
   const CongestionControl& cca() const { return *cca_; }
@@ -173,6 +196,12 @@ class Sender {
   void transmit_one();
   void maybe_record_rate();
   void on_tick();
+  bool budget_exhausted() const {
+    return config_.byte_budget >= 0 &&
+           packets_sent_ * config_.packet_bytes >= config_.byte_budget;
+  }
+  void maybe_finish();
+  void sync_hot();
   void detect_packet_threshold_losses();
   void detect_rto_losses();
   void declare_lost(std::uint64_t seq, const Outstanding& info, bool from_timeout);
@@ -207,6 +236,13 @@ class Sender {
   SimTime next_send_time_ = 0;
   bool send_event_scheduled_ = false;
   bool started_ = false;
+  bool running_ = false;  // the start event has fired
+  SimTime finished_time_ = -1;
+
+  // Fleet SoA view (null outside the fleet engine).
+  FleetFlowHot* hot_ = nullptr;
+  std::size_t hot_idx_ = 0;
+  bool wants_tick_ = true;
 
   std::int64_t packets_sent_ = 0;
   std::int64_t packets_acked_ = 0;

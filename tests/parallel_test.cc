@@ -291,9 +291,9 @@ TEST(RunMany, ProgressCallbackCountsEveryRunMonotonically) {
   std::vector<RunRequest> reqs = short_batch(6);
   std::vector<std::size_t> seen;  // guarded by the engine's progress mutex
   RunManyOptions opts;
-  opts.on_progress = [&](std::size_t done, std::size_t total) {
-    EXPECT_EQ(total, reqs.size());
-    seen.push_back(done);
+  opts.on_progress = [&](const RunProgress& p) {
+    EXPECT_EQ(p.total, reqs.size());
+    seen.push_back(p.done);
   };
   ThreadPool pool(4);
   std::vector<RunSummary> out = run_many(reqs, pool, opts);
@@ -302,13 +302,59 @@ TEST(RunMany, ProgressCallbackCountsEveryRunMonotonically) {
   for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i + 1);
 }
 
+TEST(RunMany, ProgressReportsFlowSecondsClampedToScenarioDuration) {
+  // Three requests with different simulated workloads: a plain 3 s single
+  // flow (3 flow-s), a two-flow run where one flow stops early (3 + 1.5
+  // flow-s), and a flow whose stop time exceeds the scenario (clamped to
+  // 3 flow-s). The progress stream must account for every one exactly and
+  // finish at the precomputed batch total.
+  Scenario s = wired_scenario(24);
+  s.duration = sec(3);
+  auto cubic = [] { return std::make_unique<Cubic>(); };
+
+  std::vector<RunRequest> reqs;
+  reqs.push_back(RunRequest::single(s, cubic, 100));
+  RunRequest two;
+  two.scenario = s;
+  two.seed = 101;
+  two.flows.push_back(FlowSpec{cubic});
+  two.flows.push_back(FlowSpec{cubic, sec(1), msec(2500)});
+  reqs.push_back(two);
+  RunRequest over;
+  over.scenario = s;
+  over.seed = 102;
+  over.flows.push_back(FlowSpec{cubic, 0, sec(60)});  // clamped to duration
+  reqs.push_back(over);
+
+  EXPECT_DOUBLE_EQ(request_flow_seconds(reqs[0]), 3.0);
+  EXPECT_DOUBLE_EQ(request_flow_seconds(reqs[1]), 4.5);
+  EXPECT_DOUBLE_EQ(request_flow_seconds(reqs[2]), 3.0);
+
+  double last_completed = 0;
+  double reported_total = -1;
+  std::size_t calls = 0;
+  RunManyOptions opts;
+  opts.on_progress = [&](const RunProgress& p) {
+    ++calls;
+    EXPECT_GT(p.completed_flow_seconds, last_completed);
+    EXPECT_LE(p.completed_flow_seconds, p.total_flow_seconds + 1e-9);
+    last_completed = p.completed_flow_seconds;
+    reported_total = p.total_flow_seconds;
+  };
+  ThreadPool pool(2);
+  run_many(reqs, pool, opts);
+  EXPECT_EQ(calls, reqs.size());
+  EXPECT_DOUBLE_EQ(reported_total, 10.5);
+  EXPECT_DOUBLE_EQ(last_completed, 10.5);
+}
+
 TEST(RunMany, PreCancelledBatchSkipsEveryRun) {
   std::vector<RunRequest> reqs = short_batch(4);
   std::atomic<bool> cancel{true};
   std::size_t progress_calls = 0;
   RunManyOptions opts;
   opts.cancel = &cancel;
-  opts.on_progress = [&](std::size_t, std::size_t) { ++progress_calls; };
+  opts.on_progress = [&](const RunProgress&) { ++progress_calls; };
   ThreadPool pool(2);
   std::vector<RunSummary> out = run_many(reqs, pool, opts);
   ASSERT_EQ(out.size(), reqs.size());
@@ -323,8 +369,8 @@ TEST(RunMany, CancelMidBatchStopsLaunchingNewRuns) {
   std::atomic<bool> cancel{false};
   RunManyOptions opts;
   opts.cancel = &cancel;
-  opts.on_progress = [&](std::size_t done, std::size_t) {
-    if (done >= 2) cancel.store(true);
+  opts.on_progress = [&](const RunProgress& p) {
+    if (p.done >= 2) cancel.store(true);
   };
   ThreadPool pool(1);  // serial drain => deterministic cut-off
   std::vector<RunSummary> out = run_many(reqs, pool, opts);

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "classic/cubic.h"
+#include "harness/fleet_scenario.h"
 #include "harness/parallel.h"
 #include "harness/scenario.h"
 #include "learned/libra_rl.h"
@@ -253,6 +254,57 @@ double wl_lte_trace_ms() {
   return elapsed * 1e3 / kTraces;
 }
 
+// --- bench_fleet: the many-flow engine -------------------------------------
+// Incast fan-ins at 100 and 1000 flows, serial mode. ns/event is the per-
+// event cost of the SoA engine (events/s in reports is its reciprocal) on a
+// packet-dominated 960 Mbps fan-in. The soa/naive pair instead runs a 96 Mbps
+// 1000-flow fan-in — per-flow throughput is tiny, so the naive engine's
+// per-sender tick timers dominate its event count (~2/3 of all events) and
+// the pair measures the SoA scan's speedup in wall ms per simulated second.
+
+FleetSummary run_fleet_incast(int flows, bool soa_scan, double sim_seconds,
+                              double rate_mbps = 960.0) {
+  FleetSpec spec = incast_fleet(flows, rate_mbps, msec(1));
+  spec.duration = static_cast<SimDuration>(sim_seconds * 1e6);
+  spec.warmup = msec(250);
+  std::vector<FleetFlowPlan> plans = plan_fleet_flows(spec, 11);
+  FleetOptions opts = fleet_options(spec, 11, {});
+  opts.soa_scan = soa_scan;
+  FleetNetwork net(fleet_links(spec), opts);
+  for (const FleetFlowPlan& p : plans) {
+    FleetFlowDef def;
+    def.cca = std::make_unique<Cubic>();
+    def.start = p.start;
+    def.enter_hop = p.enter_hop;
+    def.exit_hop = p.exit_hop;
+    net.add_flow(std::move(def));
+  }
+  net.run();
+  FleetSummary s = net.summarize();
+  if (s.total_throughput_bps <= 0 || s.events_processed == 0) std::abort();
+  return s;
+}
+
+double wl_fleet_incast_100_ns() {
+  FleetSummary s = run_fleet_incast(100, /*soa_scan=*/true, 1.0);
+  return s.wall_time_s * 1e9 / static_cast<double>(s.events_processed);
+}
+
+double wl_fleet_incast_1000_ns() {
+  FleetSummary s = run_fleet_incast(1000, /*soa_scan=*/true, 0.5);
+  return s.wall_time_s * 1e9 / static_cast<double>(s.events_processed);
+}
+
+double wl_fleet_incast_1000_soa_ms() {
+  FleetSummary s = run_fleet_incast(1000, /*soa_scan=*/true, 5.0, 96.0);
+  return s.wall_time_s * 1e3 / s.sim_time_s;
+}
+
+double wl_fleet_incast_1000_naive_ms() {
+  FleetSummary s = run_fleet_incast(1000, /*soa_scan=*/false, 5.0, 96.0);
+  return s.wall_time_s * 1e3 / s.sim_time_s;
+}
+
 struct MetricDef {
   const char* name;
   const char* unit;
@@ -277,6 +329,10 @@ constexpr MetricDef kMetrics[] = {
     {"wide_forward_batch_2x512", "us/state", 0.75, wl_wide_forward_batch_us},
     {"telemetry_sample_1ms", "ms/run", 0.75, wl_telemetry_sample_1ms_ms},
     {"lte_trace_synthesis_60s", "ms/trace", 0.50, wl_lte_trace_ms},
+    {"fleet_incast_100", "ns/event", 0.75, wl_fleet_incast_100_ns},
+    {"fleet_incast_1000", "ns/event", 0.75, wl_fleet_incast_1000_ns},
+    {"fleet_incast_1000_soa", "ms/simsec", 0.75, wl_fleet_incast_1000_soa_ms},
+    {"fleet_incast_1000_naive", "ms/simsec", 0.75, wl_fleet_incast_1000_naive_ms},
 };
 
 struct MetricResult {

@@ -1,0 +1,181 @@
+// Fleet-scale scenario runner CLI.
+//
+// Runs one fleet topology (incast or parking lot) under the serial or the
+// sharded engine and prints a deterministic JSON summary: every field is an
+// exact function of the simulated run (wall time is reported separately on
+// stderr), so `fleet_run --mode=serial ...` and `fleet_run --mode=sharded
+// --threads=N ...` must emit byte-identical documents — check.sh diffs them.
+//
+//   fleet_run --topo=incast --flows=100 --cca=cubic --mode=sharded --threads=4
+//   fleet_run --topo=parking_lot --hops=4 --flows=64 --duration=5 --churn
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/fleet_scenario.h"
+#include "harness/zoo.h"
+#include "obs/json.h"
+
+namespace libra {
+namespace {
+
+struct Options {
+  std::string topo = "incast";
+  std::string cca = "cubic";
+  int flows = 100;
+  int hops = 4;
+  int long_flows = 4;
+  double rate_mbps = 0;  // 0: topology default
+  double duration_s = 10;
+  double warmup_s = 1;
+  std::string mode = "serial";
+  std::size_t threads = 0;
+  int sender_shards = 0;
+  bool churn = false;
+  std::uint64_t seed = 1;
+  bool events_only = false;
+  bool soa = true;
+  double stagger_ms = -1;  // <0: topology default
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--topo=incast|parking_lot] [--flows=N] [--hops=H]\n"
+         "       [--long-flows=N] [--cca=NAME] [--rate=MBPS] [--duration=S]\n"
+         "       [--warmup=S] [--mode=serial|sharded] [--threads=N]\n"
+         "       [--sender-shards=N] [--churn] [--seed=N] [--events-only]\n"
+         "       [--soa=0|1] [--stagger=MS]\n\n"
+         "Prints a deterministic JSON summary of the run on stdout (identical\n"
+         "for serial and sharded modes at any thread count) and the\n"
+         "host-dependent wall-clock stats on stderr.\n";
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&arg](const char* key) -> const char* {
+      std::size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--topo=")) {
+      o.topo = v;
+    } else if (const char* v = value("--cca=")) {
+      o.cca = v;
+    } else if (const char* v = value("--flows=")) {
+      o.flows = std::atoi(v);
+    } else if (const char* v = value("--hops=")) {
+      o.hops = std::atoi(v);
+    } else if (const char* v = value("--long-flows=")) {
+      o.long_flows = std::atoi(v);
+    } else if (const char* v = value("--rate=")) {
+      o.rate_mbps = std::atof(v);
+    } else if (const char* v = value("--duration=")) {
+      o.duration_s = std::atof(v);
+    } else if (const char* v = value("--warmup=")) {
+      o.warmup_s = std::atof(v);
+    } else if (const char* v = value("--mode=")) {
+      o.mode = v;
+    } else if (const char* v = value("--threads=")) {
+      o.threads = static_cast<std::size_t>(std::atoi(v));
+    } else if (const char* v = value("--sender-shards=")) {
+      o.sender_shards = std::atoi(v);
+    } else if (const char* v = value("--seed=")) {
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--soa=")) {
+      o.soa = std::atoi(v) != 0;
+    } else if (const char* v = value("--stagger=")) {
+      o.stagger_ms = std::atof(v);
+    } else if (arg == "--churn") {
+      o.churn = true;
+    } else if (arg == "--events-only") {
+      o.events_only = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+int run(const Options& o) {
+  FleetSpec spec;
+  if (o.topo == "incast") {
+    spec = incast_fleet(o.flows, o.rate_mbps > 0 ? o.rate_mbps : 960.0);
+  } else if (o.topo == "parking_lot") {
+    const int cross = std::max(1, o.flows / std::max(1, o.hops));
+    spec = parking_lot_fleet(o.hops, cross, o.long_flows,
+                             o.rate_mbps > 0 ? o.rate_mbps : 96.0);
+  } else {
+    std::cerr << "unknown --topo=" << o.topo << "\n";
+    return 2;
+  }
+  spec.duration = static_cast<SimDuration>(o.duration_s * 1e6);
+  spec.warmup = static_cast<SimDuration>(o.warmup_s * 1e6);
+  if (o.stagger_ms >= 0)
+    spec.stagger = static_cast<SimDuration>(o.stagger_ms * 1e3);
+  spec.sender_shards = o.sender_shards;
+  spec.churn.enabled = o.churn;
+
+  FleetRunOptions run_opts;
+  if (o.mode == "sharded") {
+    run_opts.mode = FleetMode::kSharded;
+  } else if (o.mode != "serial") {
+    std::cerr << "unknown --mode=" << o.mode << "\n";
+    return 2;
+  }
+  run_opts.threads = o.threads;
+  run_opts.soa_scan = o.soa;
+
+  CcaZoo zoo;
+  const FleetSummary s = run_fleet(spec, zoo.factory(o.cca), o.seed, run_opts);
+
+  if (o.events_only) {
+    std::printf("%llu\n", static_cast<unsigned long long>(s.events_processed));
+  } else {
+    std::string out;
+    JsonWriter w(out);
+    w.begin_object();
+    w.key("scenario").value(spec.name);
+    w.key("cca").value(o.cca);
+    w.key("seed").value(o.seed);
+    w.key("flows").value(static_cast<std::uint64_t>(s.flows.size()));
+    w.key("sim_time_s").value(s.sim_time_s);
+    w.key("window_s").value(s.window_s);
+    w.key("events").value(s.events_processed);
+    w.key("total_throughput_bps").value(s.total_throughput_bps);
+    w.key("avg_delay_ms").value(s.avg_delay_ms);
+    w.key("jain_fairness").value(s.jain_fairness);
+    w.key("hop_utilization");
+    w.begin_array();
+    for (double u : s.hop_utilization) w.value(u);
+    w.end_array();
+    w.key("per_flow");
+    w.begin_array();
+    for (const FleetFlowSummary& f : s.flows) {
+      w.begin_object();
+      w.key("throughput_bps").value(f.throughput_bps);
+      w.key("avg_rtt_ms").value(f.avg_rtt_ms);
+      w.key("loss_rate").value(f.loss_rate);
+      w.key("completion_s").value(f.completion_s);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::printf("%s\n", out.c_str());
+  }
+  std::fprintf(stderr, "wall_s=%.3f events_per_wall_s=%.0f mode=%s threads=%zu\n",
+               s.wall_time_s, s.events_per_wall_s(), o.mode.c_str(), o.threads);
+  return 0;
+}
+
+}  // namespace
+}  // namespace libra
+
+int main(int argc, char** argv) {
+  libra::Options opts;
+  if (!libra::parse_args(argc, argv, opts)) return libra::usage(argv[0]);
+  return libra::run(opts);
+}

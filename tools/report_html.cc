@@ -34,7 +34,17 @@ using libra::JsonValue;
 using libra::json_parse;
 
 constexpr const char* kUsage =
-    "usage: report_html [--out=report.html] [--title=TEXT] RUN.jsonl...\n";
+    "usage: report_html [--out=report.html] [--title=TEXT] [--top=N] "
+    "RUN.jsonl...\n"
+    "\n"
+    "  --top=N  fleet runs: individual table rows for the N highest-\n"
+    "           throughput flows when the per-flow table collapses to\n"
+    "           percentile rows (default 8)\n";
+
+/// Per-flow tables wider than this collapse to p50/p95/worst rows plus the
+/// --top highest-throughput flows (fleet runs would otherwise render a
+/// thousand-row table).
+constexpr std::size_t kAggregateThreshold = 32;
 
 // Fixed categorical palette (light / dark picks of the same hues). Flow id n
 // always wears color n % 8: identity is stable across filters and runs.
@@ -317,7 +327,7 @@ void render_legend(std::ostream& out, const std::vector<Series>& series) {
   out << "</div>\n";
 }
 
-void render_run(std::ostream& out, const RunData& run) {
+void render_run(std::ostream& out, const RunData& run, std::size_t top_flows) {
   out << "<section>\n<h2>" << html_escape(run.path) << "</h2>\n";
   out << "<p class=\"note\">sample interval " << fmt(run.interval_us / 1e3, 2)
       << " ms, " << run.flows.size() << " flow(s), " << run.queues.size()
@@ -402,42 +412,101 @@ void render_run(std::ostream& out, const RunData& run) {
     render_lane(out, lane);
   }
 
-  // Table view: every flow (including folded ones), no color required.
-  out << "<table><thead><tr><th>flow</th><th>mean throughput (Mbps)</th>"
-         "<th>srtt last (ms)</th><th>srtt max (ms)</th>"
-         "<th>cwnd max (KiB)</th><th>losses</th></tr></thead><tbody>\n";
-  for (const auto& [id, cols] : run.flows) {
+  // Table view: every flow (including folded ones), no color required. Fleet
+  // runs (> kAggregateThreshold flows) collapse to the top flows by
+  // throughput plus cross-flow percentile rows — p50, p95 and the worst tail
+  // per column (min throughput, max delay/loss).
+  struct TableRow {
+    int id = 0;
     double thr = 0, srtt_last = 0, srtt_max = 0, cwnd_max = 0, losses = 0;
+  };
+  std::vector<TableRow> rows;
+  for (const auto& [id, cols] : run.flows) {
+    TableRow r;
+    r.id = id;
     if (auto it = cols.find("acked_bytes"); it != cols.end() &&
                                             !it->second.last.empty()) {
       double dur_s = it->second.bucket_us / 1e6 *
                      static_cast<double>(it->second.last.size());
-      if (dur_s > 0) thr = it->second.last.back() * 8.0 / dur_s / 1e6;
+      if (dur_s > 0) r.thr = it->second.last.back() * 8.0 / dur_s / 1e6;
     }
     if (auto it = cols.find("srtt_ms"); it != cols.end() &&
                                         !it->second.last.empty()) {
-      srtt_last = it->second.last.back();
-      for (double v : it->second.max) srtt_max = std::max(srtt_max, v);
+      r.srtt_last = it->second.last.back();
+      for (double v : it->second.max) r.srtt_max = std::max(r.srtt_max, v);
     }
     if (auto it = cols.find("cwnd_bytes"); it != cols.end()) {
       for (double v : it->second.max)
-        if (v < kCwndClamp) cwnd_max = std::max(cwnd_max, v);
+        if (v < kCwndClamp) r.cwnd_max = std::max(r.cwnd_max, v);
     }
     if (auto it = cols.find("lost_packets"); it != cols.end() &&
                                              !it->second.last.empty()) {
-      losses = it->second.last.back();
+      r.losses = it->second.last.back();
     }
-    out << "<tr><td><i class=\"chip\" style=\"background:var(--s"
-        << id % kPaletteSize << ")\"></i>" << id << "</td><td>" << fmt(thr)
-        << "</td><td>" << fmt(srtt_last, 1) << "</td><td>" << fmt(srtt_max, 1)
-        << "</td><td>" << fmt(cwnd_max / 1024, 1) << "</td><td>"
-        << fmt(losses, 0) << "</td></tr>\n";
+    rows.push_back(r);
+  }
+
+  out << "<table><thead><tr><th>flow</th><th>mean throughput (Mbps)</th>"
+         "<th>srtt last (ms)</th><th>srtt max (ms)</th>"
+         "<th>cwnd max (KiB)</th><th>losses</th></tr></thead><tbody>\n";
+  auto emit = [&out](const std::string& label, const TableRow& r, bool chip) {
+    out << "<tr><td>";
+    if (chip) {
+      out << "<i class=\"chip\" style=\"background:var(--s"
+          << r.id % kPaletteSize << ")\"></i>";
+    }
+    out << html_escape(label) << "</td><td>" << fmt(r.thr) << "</td><td>"
+        << fmt(r.srtt_last, 1) << "</td><td>" << fmt(r.srtt_max, 1)
+        << "</td><td>" << fmt(r.cwnd_max / 1024, 1) << "</td><td>"
+        << fmt(r.losses, 0) << "</td></tr>\n";
+  };
+  if (rows.size() <= kAggregateThreshold) {
+    for (const TableRow& r : rows) emit(std::to_string(r.id), r, true);
+  } else {
+    std::vector<TableRow> by_thr = rows;
+    std::sort(by_thr.begin(), by_thr.end(),
+              [](const TableRow& a, const TableRow& b) { return a.thr > b.thr; });
+    const std::size_t top = std::min<std::size_t>(top_flows, by_thr.size());
+    for (std::size_t i = 0; i < top; ++i)
+      emit("#" + std::to_string(by_thr[i].id), by_thr[i], true);
+    auto column = [&rows](double TableRow::*member) {
+      std::vector<double> v;
+      v.reserve(rows.size());
+      for (const TableRow& r : rows) v.push_back(r.*member);
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    auto pct = [](const std::vector<double>& v, double p) {
+      if (v.empty()) return 0.0;
+      double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+      auto lo = static_cast<std::size_t>(idx);
+      std::size_t hi = std::min(lo + 1, v.size() - 1);
+      return v[lo] + (idx - static_cast<double>(lo)) * (v[hi] - v[lo]);
+    };
+    auto aggregate = [&](const std::string& label, double lo_p, double hi_p) {
+      TableRow r;
+      r.thr = pct(column(&TableRow::thr), lo_p);          // favorable: high
+      r.srtt_last = pct(column(&TableRow::srtt_last), hi_p);  // damage: low
+      r.srtt_max = pct(column(&TableRow::srtt_max), hi_p);
+      r.cwnd_max = pct(column(&TableRow::cwnd_max), lo_p);
+      r.losses = pct(column(&TableRow::losses), hi_p);
+      emit(label, r, false);
+    };
+    const std::string n = std::to_string(rows.size());
+    aggregate("p50 of " + n, 50, 50);
+    aggregate("p95 of " + n, 5, 95);
+    aggregate("worst of " + n, 0, 100);
+    out << "</tbody></table>\n"
+        << "<p class=\"note\">" << n << " flows: top " << top
+        << " by throughput, then cross-flow percentiles (worst = "
+           "unfavorable tail per column)</p>\n</section>\n";
+    return;
   }
   out << "</tbody></table>\n</section>\n";
 }
 
 void render_document(std::ostream& out, const std::string& title,
-                     const std::vector<RunData>& runs) {
+                     const std::vector<RunData>& runs, std::size_t top_flows) {
   out << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
          "<meta charset=\"utf-8\">\n"
          "<meta name=\"viewport\" content=\"width=device-width\">\n"
@@ -473,7 +542,7 @@ void render_document(std::ostream& out, const std::string& title,
          "td,th{border:1px solid var(--grid);padding:.25rem .6rem;"
          "text-align:right}th:first-child,td:first-child{text-align:left}\n";
   out << "</style>\n</head>\n<body>\n<h1>" << html_escape(title) << "</h1>\n";
-  for (const RunData& run : runs) render_run(out, run);
+  for (const RunData& run : runs) render_run(out, run, top_flows);
   out << "</body>\n</html>\n";
 }
 
@@ -482,6 +551,7 @@ void render_document(std::ostream& out, const std::string& title,
 int main(int argc, char** argv) {
   std::string out_path = "report.html";
   std::string title = "Telemetry report";
+  std::size_t top_flows = 8;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
@@ -489,6 +559,9 @@ int main(int argc, char** argv) {
       out_path = std::string(a.substr(6));
     } else if (a.rfind("--title=", 0) == 0) {
       title = std::string(a.substr(8));
+    } else if (a.rfind("--top=", 0) == 0) {
+      int n = std::atoi(std::string(a.substr(6)).c_str());
+      top_flows = n > 0 ? static_cast<std::size_t>(n) : 0;
     } else if (a.rfind("--", 0) == 0) {
       std::cerr << kUsage;
       return 2;
@@ -513,7 +586,7 @@ int main(int argc, char** argv) {
     std::cerr << "error: cannot open " << out_path << "\n";
     return 1;
   }
-  render_document(out, title, runs);
+  render_document(out, title, runs, top_flows);
   out.close();
   std::cerr << "wrote " << out_path << " (" << runs.size() << " run(s))\n";
   return 0;

@@ -41,19 +41,28 @@ namespace {
 constexpr const char* kUsage =
     "usage: trace_summarize [--warmup=SECS] [--horizon=SECS] [--flow=N]\n"
     "                       [--since=SECS] [--until=SECS] [--event=KIND]\n"
-    "                       TRACE.jsonl...\n"
+    "                       [--top=N] TRACE.jsonl...\n"
     "\n"
     "  --warmup/--horizon  summary window (stats over [warmup, horizon))\n"
     "  --flow=N            restrict to one flow id (both modes)\n"
     "  --since/--until     clip events to a sim-time window (both modes)\n"
+    "  --top=N             fleet traces: individual rows for the N highest-\n"
+    "                      throughput flows when the per-flow table collapses\n"
+    "                      to percentile rows (default 8)\n"
     "  --event=KIND        query mode: print raw matching lines + count\n"
     "                      (KIND: send ack loss enq deliver drop rate stage\n"
     "                       cycle cca run)\n";
+
+/// Per-flow tables wider than this collapse into cross-flow percentile rows
+/// (plus --top individually listed flows) — a 1000-flow fleet trace otherwise
+/// prints a thousand rows nobody reads.
+constexpr std::size_t kAggregateThreshold = 32;
 
 struct Options {
   double warmup_s = 0, horizon_s = 0;
   double since_s = -1, until_s = -1;  // <0 => unbounded
   int flow = -1;                      // <0 => all flows
+  int top = 8;                        // individual rows in aggregated tables
   std::string event;                  // non-empty => query mode
 };
 
@@ -88,7 +97,7 @@ bool find_number(std::string_view line, std::string_view key, double& out) {
   return true;
 }
 
-double percentile(std::vector<double>& sorted_values, double p) {
+double percentile(const std::vector<double>& sorted_values, double p) {
   if (sorted_values.empty()) return 0;
   double idx = p / 100.0 * static_cast<double>(sorted_values.size() - 1);
   auto lo = static_cast<std::size_t>(idx);
@@ -254,50 +263,156 @@ int summarize_file(const std::string& path, const Options& opt) {
     drops.print();
   }
 
-  libra::Table per_flow({"flow", "sends", "acks", "losses", "throughput (Mbps)",
-                         "rtt p50 (ms)", "rtt p90 (ms)", "rtt p99 (ms)",
-                         "rtt mean (ms)", "loss rate"});
+  struct FlowRow {
+    int flow = 0;
+    double sends = 0, acks = 0, losses = 0, thr = 0;
+    double rtt_p50 = 0, rtt_p90 = 0, rtt_p99 = 0, rtt_mean = 0, loss_rate = 0;
+  };
+  std::vector<FlowRow> rows;
   double total_thr = 0, rtt_weighted = 0;
   std::int64_t rtt_samples = 0;
   bool any_sojourn = false;
   for (auto& [flow, f] : flows) {
     std::sort(f.rtts_ms.begin(), f.rtts_ms.end());
-    double thr = window > 0 ? f.acked_bytes * 8.0 / window / 1e6 : 0;
-    total_thr += thr;
-    double mean = 0;
-    for (double r : f.rtts_ms) mean += r;
-    if (!f.rtts_ms.empty()) mean /= static_cast<double>(f.rtts_ms.size());
+    FlowRow r;
+    r.flow = flow;
+    r.sends = static_cast<double>(f.sends);
+    r.acks = static_cast<double>(f.acks);
+    r.losses = static_cast<double>(f.losses);
+    r.thr = window > 0 ? f.acked_bytes * 8.0 / window / 1e6 : 0;
+    total_thr += r.thr;
+    for (double v : f.rtts_ms) r.rtt_mean += v;
+    if (!f.rtts_ms.empty()) r.rtt_mean /= static_cast<double>(f.rtts_ms.size());
+    r.rtt_p50 = percentile(f.rtts_ms, 50);
+    r.rtt_p90 = percentile(f.rtts_ms, 90);
+    r.rtt_p99 = percentile(f.rtts_ms, 99);
     double denom = static_cast<double>(f.acks + f.losses);
-    double loss_rate = denom > 0 ? static_cast<double>(f.losses) / denom : 0;
-    rtt_weighted += mean * static_cast<double>(f.acks);
+    r.loss_rate = denom > 0 ? static_cast<double>(f.losses) / denom : 0;
+    rtt_weighted += r.rtt_mean * static_cast<double>(f.acks);
     rtt_samples += f.acks;
     any_sojourn |= !f.sojourns_ms.empty();
-    per_flow.add_row({std::to_string(flow), std::to_string(f.sends),
-                      std::to_string(f.acks), std::to_string(f.losses),
-                      libra::fmt(thr, 2), libra::fmt(percentile(f.rtts_ms, 50), 1),
-                      libra::fmt(percentile(f.rtts_ms, 90), 1),
-                      libra::fmt(percentile(f.rtts_ms, 99), 1), libra::fmt(mean, 1),
-                      libra::fmt_pct(loss_rate, 2)});
+    rows.push_back(r);
+  }
+
+  libra::Table per_flow({"flow", "sends", "acks", "losses", "throughput (Mbps)",
+                         "rtt p50 (ms)", "rtt p90 (ms)", "rtt p99 (ms)",
+                         "rtt mean (ms)", "loss rate"});
+  auto add_flow_row = [&per_flow](const std::string& label, const FlowRow& r) {
+    per_flow.add_row({label, libra::fmt(r.sends, 0), libra::fmt(r.acks, 0),
+                      libra::fmt(r.losses, 0), libra::fmt(r.thr, 2),
+                      libra::fmt(r.rtt_p50, 1), libra::fmt(r.rtt_p90, 1),
+                      libra::fmt(r.rtt_p99, 1), libra::fmt(r.rtt_mean, 1),
+                      libra::fmt_pct(r.loss_rate, 2)});
+  };
+  if (rows.size() <= kAggregateThreshold) {
+    for (const FlowRow& r : rows) add_flow_row(std::to_string(r.flow), r);
+  } else {
+    // Fleet-scale trace: list the --top flows by throughput, then collapse
+    // the full population into cross-flow percentile rows. "worst" is the
+    // unfavorable tail per column: min for throughput-like columns, max for
+    // delay/loss — one glance shows whether the tail is healthy.
+    std::vector<FlowRow> by_thr = rows;
+    std::sort(by_thr.begin(), by_thr.end(),
+              [](const FlowRow& a, const FlowRow& b) { return a.thr > b.thr; });
+    const std::size_t top = std::min<std::size_t>(
+        opt.top > 0 ? static_cast<std::size_t>(opt.top) : 0, by_thr.size());
+    for (std::size_t i = 0; i < top; ++i)
+      add_flow_row("#" + std::to_string(by_thr[i].flow), by_thr[i]);
+
+    auto column = [&rows](double FlowRow::*member) {
+      std::vector<double> v;
+      v.reserve(rows.size());
+      for (const FlowRow& r : rows) v.push_back(r.*member);
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    auto aggregate = [&](const std::string& label, auto pick_lo, auto pick_hi) {
+      FlowRow r;
+      // Favorable direction is "high" for volume columns...
+      r.sends = pick_hi(column(&FlowRow::sends));
+      r.acks = pick_hi(column(&FlowRow::acks));
+      r.thr = pick_hi(column(&FlowRow::thr));
+      // ...and "low" for damage columns, so one row reads coherently.
+      r.losses = pick_lo(column(&FlowRow::losses));
+      r.rtt_p50 = pick_lo(column(&FlowRow::rtt_p50));
+      r.rtt_p90 = pick_lo(column(&FlowRow::rtt_p90));
+      r.rtt_p99 = pick_lo(column(&FlowRow::rtt_p99));
+      r.rtt_mean = pick_lo(column(&FlowRow::rtt_mean));
+      r.loss_rate = pick_lo(column(&FlowRow::loss_rate));
+      add_flow_row(label, r);
+    };
+    const std::string n = std::to_string(rows.size());
+    aggregate("p50 of " + n,
+              [](std::vector<double> v) { return percentile(v, 50); },
+              [](std::vector<double> v) { return percentile(v, 50); });
+    aggregate("p95 of " + n,
+              [](std::vector<double> v) { return percentile(v, 95); },
+              [](std::vector<double> v) { return percentile(v, 5); });
+    aggregate("worst of " + n,
+              [](std::vector<double> v) { return v.back(); },
+              [](std::vector<double> v) { return v.front(); });
   }
   std::cout << "\n";
   per_flow.print();
+  if (rows.size() > kAggregateThreshold) {
+    std::cout << "(" << rows.size() << " flows: top "
+              << std::min<std::size_t>(
+                     opt.top > 0 ? static_cast<std::size_t>(opt.top) : 0,
+                     rows.size())
+              << " by throughput, then cross-flow percentiles; worst = "
+                 "unfavorable tail per column)\n";
+  }
 
   if (any_sojourn) {
     // Queueing-delay breakdown: time each packet spent in the bottleneck
     // queue, from its enq event to the matching deliver (dropped packets
     // excluded). This separates standing-queue delay from propagation delay,
-    // which the RTT columns above mix together.
-    libra::Table qd({"flow", "delivered", "queue p50 (ms)", "queue p90 (ms)",
-                     "queue p99 (ms)", "queue max (ms)"});
+    // which the RTT columns above mix together. Fleet traces aggregate the
+    // same way as the per-flow table.
+    std::vector<std::pair<int, const FlowStats*>> with_sojourn;
     for (auto& [flow, f] : flows) {
       if (f.sojourns_ms.empty()) continue;
       std::sort(f.sojourns_ms.begin(), f.sojourns_ms.end());
-      qd.add_row({std::to_string(flow),
-                  std::to_string(f.sojourns_ms.size()),
-                  libra::fmt(percentile(f.sojourns_ms, 50), 2),
-                  libra::fmt(percentile(f.sojourns_ms, 90), 2),
-                  libra::fmt(percentile(f.sojourns_ms, 99), 2),
-                  libra::fmt(f.sojourns_ms.back(), 2)});
+      with_sojourn.emplace_back(flow, &f);
+    }
+    libra::Table qd({"flow", "delivered", "queue p50 (ms)", "queue p90 (ms)",
+                     "queue p99 (ms)", "queue max (ms)"});
+    if (with_sojourn.size() <= kAggregateThreshold) {
+      for (auto& [flow, f] : with_sojourn) {
+        qd.add_row({std::to_string(flow), std::to_string(f->sojourns_ms.size()),
+                    libra::fmt(percentile(f->sojourns_ms, 50), 2),
+                    libra::fmt(percentile(f->sojourns_ms, 90), 2),
+                    libra::fmt(percentile(f->sojourns_ms, 99), 2),
+                    libra::fmt(f->sojourns_ms.back(), 2)});
+      }
+    } else {
+      std::vector<double> p50s, p90s, p99s, maxes;
+      std::size_t delivered = 0;
+      for (auto& [flow, f] : with_sojourn) {
+        p50s.push_back(percentile(f->sojourns_ms, 50));
+        p90s.push_back(percentile(f->sojourns_ms, 90));
+        p99s.push_back(percentile(f->sojourns_ms, 99));
+        maxes.push_back(f->sojourns_ms.back());
+        delivered += f->sojourns_ms.size();
+      }
+      std::sort(p50s.begin(), p50s.end());
+      std::sort(p90s.begin(), p90s.end());
+      std::sort(p99s.begin(), p99s.end());
+      std::sort(maxes.begin(), maxes.end());
+      const std::string n = std::to_string(with_sojourn.size());
+      qd.add_row({"p50 of " + n, std::to_string(delivered),
+                  libra::fmt(percentile(p50s, 50), 2),
+                  libra::fmt(percentile(p90s, 50), 2),
+                  libra::fmt(percentile(p99s, 50), 2),
+                  libra::fmt(percentile(maxes, 50), 2)});
+      qd.add_row({"p95 of " + n, "",
+                  libra::fmt(percentile(p50s, 95), 2),
+                  libra::fmt(percentile(p90s, 95), 2),
+                  libra::fmt(percentile(p99s, 95), 2),
+                  libra::fmt(percentile(maxes, 95), 2)});
+      qd.add_row({"worst of " + n, "", libra::fmt(p50s.back(), 2),
+                  libra::fmt(p90s.back(), 2), libra::fmt(p99s.back(), 2),
+                  libra::fmt(maxes.back(), 2)});
     }
     std::cout << "\n";
     qd.print();
@@ -339,6 +454,8 @@ int main(int argc, char** argv) {
       opt.until_s = std::atof(std::string(a.substr(8)).c_str());
     } else if (a.rfind("--event=", 0) == 0) {
       opt.event = std::string(a.substr(8));
+    } else if (a.rfind("--top=", 0) == 0) {
+      opt.top = std::atoi(std::string(a.substr(6)).c_str());
     } else if (a.rfind("--", 0) == 0) {
       std::cerr << kUsage;
       return 2;
