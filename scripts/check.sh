@@ -114,6 +114,30 @@ if [[ "$RUN_TIER1" == 1 ]]; then
     echo "fleet smoke: sharded summary diverged from serial" >&2; exit 1; }
   ./build/tools/json_check "$TRACE_DIR/fleet_serial.json"
   echo "fleet smoke: ok"
+
+  echo "== fleet health smoke: windowed timeline + incidents, mode-invariant =="
+  # --health adds the streaming health object (windowed fleet timeline +
+  # severity-ranked anomaly incidents) to the summary; it must parse and be
+  # byte-identical serial vs. sharded like everything else on stdout, and
+  # report_html must render it as a fleet-health page.
+  ./build/tools/fleet_run --topo=incast --flows=100 --duration=3 --health \
+    --mode=serial > "$TRACE_DIR/fleet_health_serial.json" 2>/dev/null
+  ./build/tools/fleet_run --topo=incast --flows=100 --duration=3 --health \
+    --mode=sharded --threads=2 > "$TRACE_DIR/fleet_health_sharded.json" \
+    2>/dev/null
+  diff "$TRACE_DIR/fleet_health_serial.json" \
+    "$TRACE_DIR/fleet_health_sharded.json" || {
+    echo "fleet health smoke: sharded health report diverged from serial" >&2
+    exit 1; }
+  grep -q '"health"' "$TRACE_DIR/fleet_health_serial.json" || {
+    echo "fleet health smoke: summary missing the health object" >&2; exit 1; }
+  ./build/tools/json_check "$TRACE_DIR/fleet_health_serial.json"
+  ./build/tools/report_html --out="$TRACE_DIR/fleet_health.html" \
+    "$TRACE_DIR/fleet_health_serial.json"
+  grep -q "fleet health" "$TRACE_DIR/fleet_health.html" || {
+    echo "fleet health smoke: report_html did not render the health page" >&2
+    exit 1; }
+  echo "fleet health smoke: ok"
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then

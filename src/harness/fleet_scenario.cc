@@ -124,9 +124,11 @@ FleetOptions fleet_options(const FleetSpec& spec, std::uint64_t seed,
 FleetSummary run_fleet(
     const FleetSpec& spec,
     const std::function<std::unique_ptr<CongestionControl>(int flow)>& make_cca,
-    std::uint64_t seed, const FleetRunOptions& run) {
+    std::uint64_t seed, const FleetRunOptions& run, FleetObsResult* obs) {
   std::vector<FleetFlowPlan> plans = plan_fleet_flows(spec, seed);
   FleetNetwork net(fleet_links(spec), fleet_options(spec, seed, run));
+  if (run.health) net.enable_health(run.health_config.stats);
+  if (run.record_capacity > 0) net.enable_recording(run.record_capacity);
   for (std::size_t i = 0; i < plans.size(); ++i) {
     FleetFlowDef def;
     def.cca = make_cca(static_cast<int>(i));
@@ -138,13 +140,24 @@ FleetSummary run_fleet(
     net.add_flow(std::move(def));
   }
   net.run();
+  if (obs) {
+    obs->shard_events = net.shard_event_counts();
+    if (run.health)
+      obs->health = analyze_health(net.health()->timeline(), run.health_config);
+    if (const FlightRecorder* rec = net.recorder()) {
+      obs->trace_recorded = rec->recorded();
+      obs->trace_overwritten = rec->overwritten();
+      obs->trace_buffered = rec->buffered();
+    }
+  }
   return net.summarize();
 }
 
 FleetSummary run_fleet(const FleetSpec& spec, const CcaFactory& make_cca,
-                       std::uint64_t seed, const FleetRunOptions& run) {
+                       std::uint64_t seed, const FleetRunOptions& run,
+                       FleetObsResult* obs) {
   return run_fleet(
-      spec, [&make_cca](int) { return make_cca(); }, seed, run);
+      spec, [&make_cca](int) { return make_cca(); }, seed, run, obs);
 }
 
 }  // namespace libra

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "harness/runner.h"
+#include "obs/health.h"
 #include "sim/fleet.h"
 
 namespace libra {
@@ -99,6 +100,25 @@ struct FleetRunOptions {
   /// false: per-sender self-scheduled tick timers (the naive baseline the
   /// SoA scan is benchmarked against; see FleetOptions::soa_scan).
   bool soa_scan = true;
+  /// Streaming windowed health stats + anomaly detection; works under both
+  /// engines and never perturbs the run. Read the report back through the
+  /// FleetObsResult out-parameter of run_fleet.
+  bool health = false;
+  HealthConfig health_config;
+  /// >0: black-box FlightRecorder ring of this many events (bounded memory,
+  /// oldest overwritten). Serial mode only.
+  std::size_t record_capacity = 0;
+};
+
+/// Observability outputs of a fleet run (everything summarize() doesn't
+/// cover). All fields are deterministic: the health report and the per-shard
+/// event counts are bitwise identical serial vs. sharded.
+struct FleetObsResult {
+  HealthReport health;  // empty unless FleetRunOptions::health
+  std::uint64_t trace_recorded = 0;  // black-box ring stats (record_capacity)
+  std::uint64_t trace_overwritten = 0;
+  std::uint64_t trace_buffered = 0;
+  std::vector<std::uint64_t> shard_events;  // events executed per shard
 };
 
 /// Builds FleetOptions for the spec (shared by both run_fleet overloads).
@@ -110,14 +130,18 @@ std::vector<FleetLink> fleet_links(const FleetSpec& spec);
 
 /// Plans flows, builds the network, attaches `make_cca()` per flow, runs to
 /// spec.duration and summarizes. `make_cca` is invoked once per flow in flow
-/// order (so shared-state factories see a deterministic sequence).
+/// order (so shared-state factories see a deterministic sequence). When `obs`
+/// is non-null it receives the run's observability outputs (health report,
+/// black-box trace stats, per-shard event counts).
 FleetSummary run_fleet(const FleetSpec& spec, const CcaFactory& make_cca,
-                       std::uint64_t seed, const FleetRunOptions& run = {});
+                       std::uint64_t seed, const FleetRunOptions& run = {},
+                       FleetObsResult* obs = nullptr);
 
 /// As above but the factory sees the flow id (mixed-CCA fleets).
 FleetSummary run_fleet(
     const FleetSpec& spec,
     const std::function<std::unique_ptr<CongestionControl>(int flow)>& make_cca,
-    std::uint64_t seed, const FleetRunOptions& run = {});
+    std::uint64_t seed, const FleetRunOptions& run = {},
+    FleetObsResult* obs = nullptr);
 
 }  // namespace libra

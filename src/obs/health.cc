@@ -1,0 +1,414 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace libra {
+namespace {
+
+/// Sim-time span of window `w` (the last window may be partial).
+SimDuration window_length(const FleetTimeline& tl, int w) {
+  const SimTime begin = static_cast<SimTime>(w) * tl.config.window;
+  return std::min<SimDuration>(tl.config.window, tl.duration - begin);
+}
+
+SimTime flow_end(const FleetFlowMeta& m, SimDuration duration) {
+  SimTime end = m.stop < duration ? m.stop : duration;
+  if (m.finished_time >= 0 && m.finished_time < end) end = m.finished_time;
+  return end;
+}
+
+/// Lifetime overlaps the window at all (aggregate "active" column).
+bool overlaps_window(const FleetFlowMeta& m, const FleetTimeline& tl, int w) {
+  const SimTime begin = static_cast<SimTime>(w) * tl.config.window;
+  const SimTime end = begin + window_length(tl, w);
+  return m.start < end && flow_end(m, tl.duration) > begin;
+}
+
+/// Alive for the whole window (what the per-flow run detectors require, so a
+/// flow that starts or drains mid-window cannot trip them on a partial view).
+bool covers_window(const FleetFlowMeta& m, const FleetTimeline& tl, int w) {
+  const SimTime begin = static_cast<SimTime>(w) * tl.config.window;
+  const SimTime end = begin + window_length(tl, w);
+  return m.start <= begin && flow_end(m, tl.duration) >= end;
+}
+
+std::string format_detail(const char* fmt, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return std::string(buf);
+}
+
+/// Longest run of consecutive windows satisfying `cond` starting at or after
+/// `from`. Windows where `eligible` is false break the run without counting.
+template <typename Eligible, typename Cond>
+struct RunScan {
+  int best_start = -1, best_len = 0;
+  void scan(int from, int n, const Eligible& eligible, const Cond& cond) {
+    int start = -1, len = 0;
+    for (int w = from; w < n; ++w) {
+      if (eligible(w) && cond(w)) {
+        if (len == 0) start = w;
+        ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_start = start;
+        }
+      } else {
+        len = 0;
+      }
+    }
+  }
+};
+
+template <typename Eligible, typename Cond>
+RunScan<Eligible, Cond> longest_run(int from, int n, const Eligible& eligible,
+                                    const Cond& cond) {
+  RunScan<Eligible, Cond> r;
+  r.scan(from, n, eligible, cond);
+  return r;
+}
+
+}  // namespace
+
+const char* incident_kind_name(IncidentKind kind) {
+  switch (kind) {
+    case IncidentKind::kMinRttCorruption: return "min_rtt_corruption";
+    case IncidentKind::kStarvation: return "starvation";
+    case IncidentKind::kFairnessCollapse: return "fairness_collapse";
+    case IncidentKind::kRttBlowup: return "rtt_blowup";
+    case IncidentKind::kRetxStorm: return "retx_storm";
+  }
+  return "unknown";
+}
+
+bool HealthReport::has(IncidentKind kind) const { return count(kind) > 0; }
+
+int HealthReport::count(IncidentKind kind) const {
+  int n = 0;
+  for (const Incident& inc : incidents)
+    if (inc.kind == kind) ++n;
+  return n;
+}
+
+HealthReport analyze_health(const FleetTimeline& tl, const HealthConfig& cfg) {
+  HealthReport out;
+  out.window = tl.config.window;
+  out.n_windows = tl.n_windows;
+  out.flows = tl.flows();
+  out.duration_s = to_seconds(tl.duration);
+
+  const int flows = tl.flows();
+  const int nw = tl.n_windows;
+
+  // Fleet path floor + per-flow baselines.
+  std::int64_t floor_us = std::numeric_limits<std::int64_t>::max();
+  out.flow_min_rtt_ms.reserve(static_cast<std::size_t>(flows));
+  for (int f = 0; f < flows; ++f) {
+    const std::int64_t us = tl.metas[static_cast<std::size_t>(f)].min_rtt_us;
+    out.flow_min_rtt_ms.push_back(static_cast<double>(us) / 1000.0);
+    if (us > 0 && us < floor_us) floor_us = us;
+  }
+  if (floor_us == std::numeric_limits<std::int64_t>::max()) floor_us = 0;
+  out.path_floor_rtt_ms = static_cast<double>(floor_us) / 1000.0;
+
+  // Per-window fleet aggregates, fixed flow order.
+  out.fleet.assign(static_cast<std::size_t>(nw), FleetWindowAgg{});
+  for (int w = 0; w < nw; ++w) {
+    FleetWindowAgg& agg = out.fleet[static_cast<std::size_t>(w)];
+    double sum_x = 0, sum_x2 = 0;
+    for (int f = 0; f < flows; ++f) {
+      const FlowWindowRow& row = tl.row(f, w);
+      agg.acked_bytes += row.acked_bytes;
+      agg.sent += row.sent;
+      agg.lost += row.lost;
+      agg.rtt_sum_us += row.rtt_sum_us;
+      agg.rtt_samples += row.rtt_samples;
+      if (row.rtt_p95_us > agg.max_p95_us) agg.max_p95_us = row.rtt_p95_us;
+      if (overlaps_window(tl.metas[static_cast<std::size_t>(f)], tl, w)) {
+        ++agg.active;
+        if (row.acked_bytes > 0) ++agg.progressing;
+        const double x = static_cast<double>(row.acked_bytes);
+        sum_x += x;
+        sum_x2 += x * x;
+      }
+    }
+    // Jain over active flows, zeros included; vacuously fair when nothing
+    // moved (total stall is starvation's business, not fairness's).
+    agg.jain = sum_x2 > 0 ? (sum_x * sum_x) /
+                                (static_cast<double>(agg.active) * sum_x2)
+                          : 1.0;
+  }
+
+  const int from = std::min(cfg.warmup_windows, nw);
+
+  // Post-warmup goodput and alive-window tallies for the lockout gate: a
+  // flow's fair share is the fleet's post-warmup bytes prorated over alive
+  // windows (exact integers in fixed flow order).
+  std::vector<std::int64_t> post_acked(static_cast<std::size_t>(flows), 0);
+  std::vector<std::int64_t> alive_windows(static_cast<std::size_t>(flows), 0);
+  std::int64_t fleet_post_acked = 0, fleet_alive_windows = 0;
+  for (int f = 0; f < flows; ++f) {
+    const FleetFlowMeta& m = tl.metas[static_cast<std::size_t>(f)];
+    for (int w = from; w < nw; ++w) {
+      if (!covers_window(m, tl, w)) continue;
+      post_acked[static_cast<std::size_t>(f)] += tl.row(f, w).acked_bytes;
+      ++alive_windows[static_cast<std::size_t>(f)];
+    }
+    fleet_post_acked += post_acked[static_cast<std::size_t>(f)];
+    fleet_alive_windows += alive_windows[static_cast<std::size_t>(f)];
+  }
+
+  // --- min_rtt_corruption (lifetime, per flow) ----------------------------
+  if (floor_us > 0 && fleet_alive_windows > 0) {
+    const std::int64_t thresh_us = std::max<std::int64_t>(
+        static_cast<std::int64_t>(static_cast<double>(floor_us) *
+                                  cfg.min_rtt_ratio),
+        floor_us + cfg.min_rtt_margin);
+    for (int f = 0; f < flows; ++f) {
+      const FleetFlowMeta& m = tl.metas[static_cast<std::size_t>(f)];
+      if (m.min_rtt_us <= thresh_us) continue;
+      std::int64_t samples = 0;
+      int first_window = 0;
+      for (int w = 0; w < nw; ++w) {
+        const std::int32_t n = tl.row(f, w).rtt_samples;
+        if (samples == 0 && n > 0) first_window = w;
+        samples += n;
+      }
+      if (samples < cfg.min_rtt_min_samples) continue;
+      // Lockout gate: corrupted baseline only counts when the flow's goodput
+      // collapsed with it.
+      const auto i = static_cast<std::size_t>(f);
+      const double fair_share =
+          static_cast<double>(fleet_post_acked) *
+          static_cast<double>(alive_windows[i]) /
+          static_cast<double>(fleet_alive_windows);
+      if (alive_windows[i] == 0 ||
+          static_cast<double>(post_acked[i]) >=
+              cfg.min_rtt_lockout_share * fair_share)
+        continue;
+      Incident inc;
+      inc.kind = IncidentKind::kMinRttCorruption;
+      inc.flow = f;
+      inc.window = first_window;
+      inc.span = nw - first_window;
+      inc.value = static_cast<double>(m.min_rtt_us) / 1000.0;
+      inc.threshold = static_cast<double>(thresh_us) / 1000.0;
+      inc.baseline = static_cast<double>(floor_us) / 1000.0;
+      inc.severity = static_cast<double>(m.min_rtt_us) /
+                     static_cast<double>(thresh_us);
+      inc.detail = format_detail(
+          "lifetime min RTT %.2f ms never reached the fleet path floor "
+          "%.2f ms and goodput collapsed: the delay baseline absorbed "
+          "standing queue and locked the flow out",
+          inc.value, inc.baseline);
+      out.incidents.push_back(std::move(inc));
+    }
+  }
+
+  // --- starvation (per flow) ----------------------------------------------
+  for (int f = 0; f < flows; ++f) {
+    const FleetFlowMeta& m = tl.metas[static_cast<std::size_t>(f)];
+    auto eligible = [&](int w) { return covers_window(m, tl, w); };
+    auto cond = [&](int w) {
+      return tl.row(f, w).acked_bytes == 0 &&
+             out.fleet[static_cast<std::size_t>(w)].acked_bytes > 0;
+    };
+    const auto run = longest_run(from, nw, eligible, cond);
+    if (run.best_len < cfg.starvation_windows) continue;
+    Incident inc;
+    inc.kind = IncidentKind::kStarvation;
+    inc.flow = f;
+    inc.window = run.best_start;
+    inc.span = run.best_len;
+    inc.value = run.best_len;
+    inc.threshold = cfg.starvation_windows;
+    inc.severity = static_cast<double>(run.best_len) /
+                   static_cast<double>(cfg.starvation_windows);
+    inc.detail = format_detail(
+        "zero goodput for %.0f consecutive windows while the fleet moved "
+        "(threshold %.0f)",
+        inc.value, inc.threshold);
+    out.incidents.push_back(std::move(inc));
+  }
+
+  // --- fairness_collapse (fleet-level) ------------------------------------
+  {
+    auto eligible = [&](int w) {
+      const FleetWindowAgg& agg = out.fleet[static_cast<std::size_t>(w)];
+      return agg.active >= cfg.fairness_min_flows && agg.acked_bytes > 0;
+    };
+    auto cond = [&](int w) {
+      return out.fleet[static_cast<std::size_t>(w)].jain < cfg.fairness_floor;
+    };
+    const auto run = longest_run(from, nw, eligible, cond);
+    if (run.best_len >= cfg.fairness_windows) {
+      double min_jain = 1.0;
+      for (int w = run.best_start; w < run.best_start + run.best_len; ++w)
+        min_jain = std::min(min_jain, out.fleet[static_cast<std::size_t>(w)].jain);
+      Incident inc;
+      inc.kind = IncidentKind::kFairnessCollapse;
+      inc.window = run.best_start;
+      inc.span = run.best_len;
+      inc.value = min_jain;
+      inc.threshold = cfg.fairness_floor;
+      inc.severity = min_jain > 0 ? cfg.fairness_floor / min_jain
+                                  : cfg.fairness_floor * 1e3;
+      inc.detail = format_detail(
+          "Jain index fell to %.3f (floor %.3f) across the active fan-in",
+          inc.value, inc.threshold);
+      out.incidents.push_back(std::move(inc));
+    }
+  }
+
+  // --- rtt_blowup (per flow) ----------------------------------------------
+  if (floor_us > 0) {
+    const double blowup_us =
+        static_cast<double>(floor_us) * cfg.rtt_blowup_ratio;
+    for (int f = 0; f < flows; ++f) {
+      const FleetFlowMeta& m = tl.metas[static_cast<std::size_t>(f)];
+      auto eligible = [&](int w) {
+        return covers_window(m, tl, w) &&
+               tl.row(f, w).rtt_samples >= cfg.rtt_blowup_min_samples;
+      };
+      auto cond = [&](int w) {
+        return static_cast<double>(tl.row(f, w).rtt_p95_us) > blowup_us;
+      };
+      const auto run = longest_run(from, nw, eligible, cond);
+      if (run.best_len < cfg.rtt_blowup_windows) continue;
+      double worst_us = 0;
+      for (int w = run.best_start; w < run.best_start + run.best_len; ++w)
+        worst_us = std::max(worst_us,
+                            static_cast<double>(tl.row(f, w).rtt_p95_us));
+      Incident inc;
+      inc.kind = IncidentKind::kRttBlowup;
+      inc.flow = f;
+      inc.window = run.best_start;
+      inc.span = run.best_len;
+      inc.value = worst_us / 1000.0;
+      inc.threshold = blowup_us / 1000.0;
+      inc.baseline = static_cast<double>(floor_us) / 1000.0;
+      inc.severity = worst_us / blowup_us;
+      inc.detail = format_detail(
+          "p95 RTT peaked at %.2f ms, over %.2f ms (ratio x path floor)",
+          inc.value, inc.threshold);
+      out.incidents.push_back(std::move(inc));
+    }
+  }
+
+  // --- retx_storm (per flow) ----------------------------------------------
+  for (int f = 0; f < flows; ++f) {
+    const FleetFlowMeta& m = tl.metas[static_cast<std::size_t>(f)];
+    auto eligible = [&](int w) {
+      return covers_window(m, tl, w) &&
+             tl.row(f, w).sent >= cfg.retx_storm_min_sent;
+    };
+    auto cond = [&](int w) {
+      const FlowWindowRow& row = tl.row(f, w);
+      return static_cast<double>(row.lost) >
+             cfg.retx_storm_loss_rate * static_cast<double>(row.sent);
+    };
+    const auto run = longest_run(from, nw, eligible, cond);
+    if (run.best_len < cfg.retx_storm_windows) continue;
+    double worst = 0;
+    for (int w = run.best_start; w < run.best_start + run.best_len; ++w) {
+      const FlowWindowRow& row = tl.row(f, w);
+      worst = std::max(worst, static_cast<double>(row.lost) /
+                                  static_cast<double>(row.sent));
+    }
+    Incident inc;
+    inc.kind = IncidentKind::kRetxStorm;
+    inc.flow = f;
+    inc.window = run.best_start;
+    inc.span = run.best_len;
+    inc.value = worst;
+    inc.threshold = cfg.retx_storm_loss_rate;
+    inc.severity = worst / cfg.retx_storm_loss_rate;
+    inc.detail = format_detail(
+        "windowed loss fraction hit %.3f (ceiling %.3f)", inc.value,
+        inc.threshold);
+    out.incidents.push_back(std::move(inc));
+  }
+
+  // Severity-descending; full deterministic tie-break so the report is
+  // byte-stable regardless of detector emission order.
+  std::sort(out.incidents.begin(), out.incidents.end(),
+            [](const Incident& a, const Incident& b) {
+              if (a.severity != b.severity) return a.severity > b.severity;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.flow != b.flow) return a.flow < b.flow;
+              return a.window < b.window;
+            });
+  return out;
+}
+
+void write_health_json(JsonWriter& w, const HealthReport& r) {
+  w.begin_object();
+  w.key("window_us").value(static_cast<std::int64_t>(r.window));
+  w.key("windows").value(r.n_windows);
+  w.key("flows").value(r.flows);
+  w.key("duration_s").value(r.duration_s);
+  w.key("path_floor_rtt_ms").value(r.path_floor_rtt_ms);
+  w.key("fleet");
+  w.begin_array();
+  for (int i = 0; i < r.n_windows; ++i) {
+    const FleetWindowAgg& agg = r.fleet[static_cast<std::size_t>(i)];
+    const double t0 = to_seconds(static_cast<SimTime>(i) * r.window);
+    const double len =
+        std::min(to_seconds(r.window), r.duration_s - t0);
+    w.begin_object();
+    w.key("t_s").value(t0);
+    w.key("goodput_bps")
+        .value(len > 0 ? static_cast<double>(agg.acked_bytes) * 8.0 / len : 0.0);
+    w.key("jain").value(agg.jain);
+    w.key("avg_rtt_ms")
+        .value(agg.rtt_samples > 0
+                   ? static_cast<double>(agg.rtt_sum_us) /
+                         (1000.0 * static_cast<double>(agg.rtt_samples))
+                   : 0.0);
+    w.key("max_p95_rtt_ms")
+        .value(static_cast<double>(agg.max_p95_us) / 1000.0);
+    w.key("sent").value(agg.sent);
+    w.key("lost").value(agg.lost);
+    w.key("active").value(agg.active);
+    w.key("progressing").value(agg.progressing);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("flow_min_rtt_ms");
+  w.begin_array();
+  for (double v : r.flow_min_rtt_ms) w.value(v);
+  w.end_array();
+  w.key("incidents");
+  w.begin_array();
+  for (const Incident& inc : r.incidents) {
+    w.begin_object();
+    w.key("kind").value(incident_kind_name(inc.kind));
+    w.key("flow").value(inc.flow);
+    w.key("window").value(inc.window);
+    w.key("span").value(inc.span);
+    w.key("severity").value(inc.severity);
+    w.key("value").value(inc.value);
+    w.key("threshold").value(inc.threshold);
+    w.key("baseline").value(inc.baseline);
+    w.key("detail").value(inc.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string health_report_json(const HealthReport& r) {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("health");
+  write_health_json(w, r);
+  w.end_object();
+  return out;
+}
+
+}  // namespace libra

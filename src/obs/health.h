@@ -1,0 +1,148 @@
+// Online fleet anomaly detection over a FleetTimeline.
+//
+// analyze_health() scans the windowed per-flow aggregates (obs/fleet_stats.h)
+// in fixed flow/window order and emits severity-ranked Incidents for the
+// pathological regimes a fleet run can fall into:
+//
+//   - min_rtt_corruption: a flow's lifetime minimum RTT sits far above the
+//     fleet's path floor — its delay baseline absorbed standing queue. This
+//     is exactly the documented Copa 100-flow synchronized-incast collapse:
+//     late arrivals fold the never-draining queue into min_rtt, their queue
+//     estimate dq = rtt_standing - min_rtt reads near zero, and the target
+//     rate 1/(delta*dq) locks them out. See tests/fleet_test.cc.
+//   - starvation: an active flow moves zero bytes for N consecutive windows
+//     while the rest of the fleet makes progress.
+//   - fairness_collapse: the per-window Jain index over active flows stays
+//     under a floor for M consecutive windows.
+//   - rtt_blowup: a flow's windowed p95 RTT exceeds a multiple of the path
+//     floor for K consecutive windows (bufferbloat / RTO spiral).
+//   - retx_storm: windowed loss fraction lost/sent above a ceiling with
+//     meaningful volume, sustained over consecutive windows.
+//
+// Every input is an exact integer function of the simulated run and every
+// detector uses integer or exact-double arithmetic in a fixed scan order, so
+// the report — including incident ordering — is byte-stable across engine
+// modes and thread counts. Reports serialize through JsonWriter (single-line,
+// shortest-round-trip doubles); check.sh byte-diffs serial vs. sharded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/fleet_stats.h"
+
+namespace libra {
+
+class JsonWriter;
+
+enum class IncidentKind {
+  kMinRttCorruption = 0,
+  kStarvation,
+  kFairnessCollapse,
+  kRttBlowup,
+  kRetxStorm,
+};
+
+const char* incident_kind_name(IncidentKind kind);
+
+/// One detected anomaly. `severity` is the detector's "how far past the
+/// threshold" ratio (>= 1), so incidents rank comparably across kinds.
+struct Incident {
+  IncidentKind kind = IncidentKind::kMinRttCorruption;
+  int flow = -1;      // -1: fleet-level incident
+  int window = 0;     // first window of the offending run
+  int span = 1;       // consecutive windows covered
+  double severity = 1.0;
+  double value = 0;      // the measurement that tripped the detector
+  double threshold = 0;  // the limit it tripped
+  double baseline = 0;   // the reference it was compared against
+  std::string detail;
+};
+
+struct HealthConfig {
+  FleetStatsConfig stats;
+
+  /// Windows ignored by the windowed detectors (startup transient: slow
+  /// start, staggered arrivals). Lifetime detectors (min_rtt_corruption)
+  /// always see the whole run.
+  int warmup_windows = 10;
+
+  /// min_rtt_corruption: flow baseline > max(floor * ratio, floor + margin),
+  /// with at least `min_samples` lifetime RTT samples so one stray flow
+  /// cannot fire on noise — AND the flow locked out: post-warmup goodput
+  /// under `lockout_share` of its fair share. In a deep never-draining
+  /// buffer every late flow of every CCA inherits a polluted baseline; the
+  /// incident is a controller held captive by it (Copa's dq = rtt_standing -
+  /// min_rtt reads zero, so the 1/(delta*dq) target starves the flow), not
+  /// the pollution itself. Loss-based CCAs with the same baseline keep their
+  /// fair share; BBR's victims keep a trickle well above this gate.
+  double min_rtt_ratio = 1.8;
+  SimDuration min_rtt_margin = msec(3);
+  std::int64_t min_rtt_min_samples = 50;
+  double min_rtt_lockout_share = 0.05;
+
+  /// starvation: zero acked bytes for N consecutive windows while the fleet
+  /// as a whole acked something in each of them.
+  int starvation_windows = 10;
+
+  /// fairness_collapse: per-window Jain over active flows below the floor
+  /// for M consecutive windows; needs a real fan-in to be meaningful.
+  double fairness_floor = 0.35;
+  int fairness_windows = 5;
+  int fairness_min_flows = 4;
+
+  /// rtt_blowup: windowed p95 RTT > ratio * path floor for K consecutive
+  /// windows with at least `rtt_blowup_min_samples` ACKs each.
+  double rtt_blowup_ratio = 8.0;
+  int rtt_blowup_windows = 3;
+  std::int32_t rtt_blowup_min_samples = 8;
+
+  /// retx_storm: lost/sent > rate with sent >= min_sent, sustained.
+  double retx_storm_loss_rate = 0.3;
+  std::int64_t retx_storm_min_sent = 40;
+  int retx_storm_windows = 2;
+};
+
+/// Fleet-wide per-window aggregate (fixed flow-order reduction of the rows).
+struct FleetWindowAgg {
+  std::int64_t acked_bytes = 0;
+  std::int64_t sent = 0;
+  std::int64_t lost = 0;
+  std::int64_t rtt_sum_us = 0;
+  std::int64_t rtt_samples = 0;
+  std::int32_t max_p95_us = 0;  // worst flow p95 in the window
+  int active = 0;               // flows whose lifetime overlaps the window
+  int progressing = 0;          // active flows with acked_bytes > 0
+  double jain = 0;              // over active flows (zeros included)
+};
+
+struct HealthReport {
+  SimDuration window = 0;
+  int n_windows = 0;
+  int flows = 0;
+  double duration_s = 0;
+  /// Fleet path floor: minimum lifetime min-RTT across flows (ms); 0 when no
+  /// flow ever saw an ACK.
+  double path_floor_rtt_ms = 0;
+  std::vector<FleetWindowAgg> fleet;     // per window
+  std::vector<double> flow_min_rtt_ms;   // per flow lifetime baseline
+  std::vector<Incident> incidents;       // severity-descending
+
+  bool has(IncidentKind kind) const;
+  int count(IncidentKind kind) const;
+};
+
+/// Scans the timeline and returns the full report. Pure function of the
+/// timeline + config: byte-stable across engine modes and thread counts.
+HealthReport analyze_health(const FleetTimeline& timeline,
+                            const HealthConfig& config = {});
+
+/// Serializes the report as the value of a "health" key: callers do
+/// w.key("health"); write_health_json(w, report);
+void write_health_json(JsonWriter& w, const HealthReport& report);
+
+/// Standalone single-line document: {"health":{...}}.
+std::string health_report_json(const HealthReport& report);
+
+}  // namespace libra

@@ -28,6 +28,7 @@ FleetNetwork::FleetNetwork(std::vector<FleetLink> hops, FleetOptions options)
     seq_[s] = static_cast<std::uint64_t>(s) << kShardShift;
 
   if (mode_ == FleetMode::kSerial) {
+    shard_events_.assign(nshards, 0);
     queues_.push_back(std::make_unique<EventQueue>());
     queues_[0]->set_pop_hook(&FleetNetwork::pop_hook, this);
     for (Shard& sh : shards_) sh.queue = queues_[0].get();
@@ -120,6 +121,10 @@ int FleetNetwork::add_flow(FleetFlowDef def) {
     acked_bytes_[i] += ev.acked_bytes;
     rtt_sum_us_[i] += ev.rtt;
     ++rtt_samples_[i];
+    if (health_on_) {
+      if (health_->needs_roll(id, ev.now)) health_roll(id, ev.now);
+      health_->on_ack(id, ev.acked_bytes, ev.rtt);
+    }
   };
 
   shards_[r.sender_shard].flows.push_back(id);
@@ -160,6 +165,34 @@ void FleetNetwork::compute_lookahead() {
 
 void FleetNetwork::setup() {
   hot_.resize(senders_.size());
+  health_on_ = health_ && health_->enabled();
+  if (health_on_) {
+    std::vector<FleetFlowMeta> metas(senders_.size());
+    for (std::size_t i = 0; i < senders_.size(); ++i) {
+      const SenderConfig& cfg = senders_[i]->config();
+      metas[i].start = cfg.start_time;
+      metas[i].stop = cfg.stop_time;
+      metas[i].byte_budget = cfg.byte_budget;
+    }
+    health_->prepare(opts_.duration, std::move(metas));
+    // Loss/send observers are wired only when health is on, so a health-off
+    // run keeps the sender's plain null-observer checks on those paths.
+    for (std::size_t i = 0; i < senders_.size(); ++i) {
+      const int id = static_cast<int>(i);
+      senders_[i]->loss_observer = [this, id](const LossEvent& ev) {
+        if (health_->needs_roll(id, ev.now)) health_roll(id, ev.now);
+        health_->on_loss(id);
+      };
+      senders_[i]->send_observer = [this, id](const SendEvent& ev) {
+        if (health_->needs_roll(id, ev.now)) health_roll(id, ev.now);
+        health_->on_send(id);
+      };
+    }
+  }
+  if (recorder_) {
+    for (auto& snd : senders_) snd->set_recorder(recorder_.get());
+    for (auto& link : links_) link->set_recorder(recorder_.get());
+  }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (mode_ == FleetMode::kSerial) set_context(s);
     Shard& sh = shards_[s];
@@ -212,6 +245,12 @@ void FleetNetwork::shard_tick(std::size_t s) {
       hop_delivered_w0_[static_cast<std::size_t>(h)] =
           links_[static_cast<std::size_t>(h)]->delivered_bytes();
   }
+  if (health_on_) {
+    // Window rolls for flows with no recent events: the tick grid is global,
+    // so roll points interleave identically under both engines.
+    for (int f : sh.flows)
+      if (health_->needs_roll(f, now)) health_roll(f, now);
+  }
   if (opts_.soa_scan) {
     PROF_SCOPE("fleet.scan");
     const std::int64_t pkt = opts_.sender.packet_bytes;
@@ -230,6 +269,26 @@ void FleetNetwork::shard_tick(std::size_t s) {
     }
   }
   sh.queue->schedule_in(opts_.sender.tick_interval, [this, s] { shard_tick(s); });
+}
+
+void FleetNetwork::health_roll(int flow, SimTime now) {
+  const Sender& snd = *senders_[static_cast<std::size_t>(flow)];
+  health_->roll(flow, now, snd.cca().cwnd_bytes(),
+                static_cast<double>(snd.current_pacing_rate()));
+}
+
+// Flushes the (possibly partial) final windows and stamps per-flow outcomes;
+// everything read here is post-run state, identical under both engines.
+void FleetNetwork::finalize_health() {
+  if (!health_on_ || health_finalized_) return;
+  health_finalized_ = true;
+  for (int f = 0; f < flow_count(); ++f) {
+    const Sender& snd = *senders_[static_cast<std::size_t>(f)];
+    health_->flush_all(f, snd.cca().cwnd_bytes(),
+                       static_cast<double>(snd.current_pacing_rate()));
+    health_->set_flow_outcome(f, snd.finished() ? snd.finished_time() : -1,
+                              snd.min_rtt());
+  }
 }
 
 // One sampling event covers every flow and every hop queue (O(flows) work per
@@ -321,6 +380,7 @@ void FleetNetwork::run() {
     // barrier). Anything they generate lands at > end in both modes.
     process_window(end, /*inclusive=*/true);
   }
+  finalize_health();
   wall_time_s_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -349,6 +409,30 @@ void FleetNetwork::enable_telemetry(const TelemetryConfig& config) {
     throw std::logic_error("FleetNetwork: enable_telemetry before run");
   if (!telemetry_) telemetry_ = std::make_unique<Telemetry>();
   telemetry_->enable(config);
+}
+
+void FleetNetwork::enable_health(const FleetStatsConfig& config) {
+  if (started_)
+    throw std::logic_error("FleetNetwork: enable_health before run");
+  if (!health_) health_ = std::make_unique<FleetHealth>();
+  health_->enable(config);
+}
+
+void FleetNetwork::enable_recording(std::size_t ring_capacity) {
+  if (mode_ != FleetMode::kSerial)
+    throw std::logic_error("FleetNetwork: recording requires serial mode");
+  if (started_)
+    throw std::logic_error("FleetNetwork: enable_recording before run");
+  if (!recorder_) recorder_ = std::make_unique<FlightRecorder>();
+  recorder_->enable(ring_capacity);
+}
+
+std::vector<std::uint64_t> FleetNetwork::shard_event_counts() const {
+  if (mode_ == FleetMode::kSerial) return shard_events_;
+  std::vector<std::uint64_t> out;
+  out.reserve(queues_.size());
+  for (const auto& q : queues_) out.push_back(q->processed());
+  return out;
 }
 
 FleetSummary FleetNetwork::summarize() const {

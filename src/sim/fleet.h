@@ -43,6 +43,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/fleet_stats.h"
 #include "sim/congestion_control.h"
 #include "sim/event_queue.h"
 #include "sim/flow_soa.h"
@@ -186,6 +187,26 @@ class FleetNetwork {
   void enable_telemetry(const TelemetryConfig& config);
   Telemetry* telemetry() { return telemetry_.get(); }
 
+  /// Streaming windowed health stats (obs/fleet_stats.h). Unlike telemetry
+  /// this works under BOTH engines: every hook for a flow fires on the flow's
+  /// owning sender shard, so accumulation is race-free and the finished
+  /// timeline is bitwise identical serial vs. sharded at any thread count.
+  /// Call before run(); read timeline() via health() after run() returns
+  /// (run() flushes the final windows and stamps flow outcomes).
+  void enable_health(const FleetStatsConfig& config = {});
+  const FleetHealth* health() const { return health_.get(); }
+
+  /// Black-box flight recording: a fixed ring of the most recent trace
+  /// events (no sink, oldest overwritten), so tracing a 1000-flow run is
+  /// memory-bounded. Serial mode only — the ring is a cross-shard writer.
+  void enable_recording(std::size_t ring_capacity);
+  const FlightRecorder* recorder() const { return recorder_.get(); }
+
+  /// Events executed per shard (valid after run()). Deterministic — identical
+  /// serial vs. sharded — because both engines process the same per-shard
+  /// event sequences; feeds fleet_run's shard-imbalance wall stats.
+  std::vector<std::uint64_t> shard_event_counts() const;
+
  private:
   static constexpr unsigned kShardShift = 48;
 
@@ -219,7 +240,9 @@ class FleetNetwork {
   }
   static void pop_hook(void* ctx, std::uint64_t key) {
     auto* self = static_cast<FleetNetwork*>(ctx);
-    self->set_context(static_cast<std::size_t>(key >> kShardShift));
+    const auto s = static_cast<std::size_t>(key >> kShardShift);
+    ++self->shard_events_[s];
+    self->set_context(s);
   }
 
   /// Schedules `fn` onto shard `dst`, `delay` after shard `src`'s current
@@ -242,10 +265,15 @@ class FleetNetwork {
       // the wrapper switches the context the pop hook set from the key's
       // source shard to dst before the payload runs, so follow-on scheduling
       // draws from dst's counter — exactly as it does under kSharded, where
-      // dst's queue always draws from dst's counter.
+      // dst's queue always draws from dst's counter. The event count moves
+      // with it (the pop hook charged the key's source shard), keeping
+      // shard_event_counts() identical to the sharded engine's per-queue
+      // tallies.
       q.schedule_keyed(t, key,
                        EventQueue::Callback(
-                           [this, dst, f = std::forward<Fn>(fn)]() mutable {
+                           [this, src, dst, f = std::forward<Fn>(fn)]() mutable {
+                             --shard_events_[src];
+                             ++shard_events_[dst];
                              set_context(dst);
                              f();
                            }));
@@ -259,6 +287,10 @@ class FleetNetwork {
   void setup();
   void on_hop_deliver(int hop, const Packet& pkt);
   void shard_tick(std::size_t s);
+  /// Flushes `flow`'s completed health windows with a fresh cwnd/pacing
+  /// snapshot; called only when FleetHealth::needs_roll fired.
+  void health_roll(int flow, SimTime now);
+  void finalize_health();
   void telemetry_tick();
   void process_window(SimTime bound, bool inclusive);
   void merge_outboxes();
@@ -283,10 +315,15 @@ class FleetNetwork {
 
   std::vector<std::uint64_t> seq_;  // per-shard key counters, pre-shifted
   std::size_t current_ = 0;         // serial mode: executing shard
+  std::vector<std::uint64_t> shard_events_;  // serial: events per shard
   std::vector<std::vector<std::vector<PostedMsg>>> outbox_;  // [src][dst]
   SimDuration lookahead_ = 0;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<Telemetry> telemetry_;
+  std::unique_ptr<FleetHealth> health_;
+  std::unique_ptr<FlightRecorder> recorder_;
+  bool health_on_ = false;  // cached health_->enabled() for the hot hooks
+  bool health_finalized_ = false;
   bool started_ = false;
   double wall_time_s_ = 0;
 };

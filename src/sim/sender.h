@@ -100,6 +100,11 @@ class Sender {
   /// Replaces the congestion controller mid-flow (used by A/B harnesses).
   void replace_cca(std::unique_ptr<CongestionControl> cca);
 
+  /// The rate the pacer currently enforces, including the cwnd/SRTT-derived
+  /// rate for window-driven CCAs — the fleet health layer's per-window
+  /// pacing snapshot (same value fill_telemetry reports).
+  RateBps current_pacing_rate() const { return effective_pacing_rate(); }
+
   std::int64_t bytes_in_flight() const { return bytes_in_flight_; }
   std::int64_t packets_sent() const { return packets_sent_; }
   std::int64_t packets_acked() const { return packets_acked_; }

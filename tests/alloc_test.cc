@@ -9,7 +9,10 @@
 //     allocator);
 //   - telemetry: disabled hooks allocate nothing, and enabled steady-state
 //     sampling (including M4 compactions) allocates nothing after the first
-//     sample sized the columnar store.
+//     sample sized the columnar store;
+//   - fleet health: disabled hooks allocate nothing, and an enabled
+//     accumulate/roll steady state allocates nothing after prepare() sized
+//     the timeline.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -17,6 +20,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/fleet_stats.h"
 #include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "rl/matrix.h"
@@ -175,6 +179,56 @@ TEST(TelemetryAllocation, EnabledSteadyStateSamplingAllocatesNothing) {
   EXPECT_EQ(g_allocations.load(), 0u)
       << "steady-state sampling or compaction touched the heap; a column "
          "outgrew its reserved capacity";
+}
+
+TEST(FleetHealthAllocation, DisabledHooksAllocateNothing) {
+  FleetHealth h;
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 1000; ++i) {
+    h.on_ack(0, 1500, msec(10));
+    h.on_send(0);
+    h.on_loss(0);
+    (void)h.needs_roll(0, msec(i));
+    h.roll(0, msec(i), 0, 0.0);
+  }
+  g_counting.store(false);
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "disabled fleet-health hooks must be a branch on enabled_, nothing "
+         "else";
+}
+
+TEST(FleetHealthAllocation, EnabledSteadyStateAllocatesNothing) {
+  FleetHealth h;
+  h.enable({});  // 100 ms windows
+  std::vector<FleetFlowMeta> metas(4);
+  h.prepare(sec(2), std::move(metas));
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  // 20 windows x 4 flows x 50 events: accumulate, per-event roll checks,
+  // window flushes, and the final inclusive flush — all into storage sized
+  // by prepare().
+  for (int w = 0; w < 20; ++w) {
+    for (int f = 0; f < 4; ++f) {
+      for (int i = 0; i < 50; ++i) {
+        const SimTime now = static_cast<SimTime>(w) * msec(100) +
+                            static_cast<SimTime>(i) * msec(2);
+        if (h.needs_roll(f, now)) h.roll(f, now, 10'000, 1e7);
+        h.on_send(f);
+        h.on_ack(f, 1500, msec(10) + i);
+        if (i % 10 == 0) h.on_loss(f);
+      }
+    }
+  }
+  for (int f = 0; f < 4; ++f) {
+    h.flush_all(f, 10'000, 1e7);
+    h.set_flow_outcome(f, -1, msec(10));
+  }
+  g_counting.store(false);
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "steady-state fleet-health accumulation touched the heap; prepare() "
+         "must size every accumulator and row up front";
 }
 
 TEST(ProfilerAllocation, DisabledSpanAllocatesNothing) {

@@ -1,9 +1,12 @@
 // Fleet engine tests: flow planning determinism, heavy-tail churn sanity,
 // the serial/sharded bitwise-identity guarantee (classic and learned CCAs),
-// finite-flow completion, and many-flow fairness smoke checks.
+// finite-flow completion, many-flow fairness smoke checks, and the streaming
+// health layer (detector regressions on real runs + byte-identical reports
+// across engine modes).
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "classic/cubic.h"
@@ -13,6 +16,7 @@
 #include "harness/fleet_scenario.h"
 #include "harness/zoo.h"
 #include "learned/libra_rl.h"
+#include "obs/health.h"
 #include "sim/fleet.h"
 
 namespace libra {
@@ -275,16 +279,14 @@ TEST(FleetFairness, HundredFlowIncastIsFairForEveryClassic) {
     double min_jain;
     int min_moved;
   };
-  // Copa's bounds are deliberately loose: in a synchronized 100-flow incast
-  // the startup storm never lets the queue drain, winners fold the standing
-  // queue into their min_rtt baseline and keep the buffer full, and late
-  // flows are locked out at the droptail — the known Copa incast failure its
-  // mode-switching (not modeled here) exists to mitigate. Up to ~50 flows
-  // this model is >0.94 fair; the loose bound documents the 100-flow cliff.
+  // Copa is covered by FleetHealthRegression.MinRttCorruptionFiresOnCopaOnly
+  // instead: its 100-flow incast collapse is a documented pathology, and the
+  // health detector pins down its signature (corrupted min_rtt baseline +
+  // lockout) far more precisely than a loose fairness floor ever did.
   const Expectation kExpect[] = {
       {"cubic", 0.7, 100},   {"newreno", 0.7, 100}, {"vegas", 0.7, 100},
       {"westwood", 0.7, 100}, {"illinois", 0.7, 100}, {"compound", 0.7, 100},
-      {"sprout", 0.6, 100},  {"copa", 0.15, 20},
+      {"sprout", 0.6, 100},
   };
   CcaZoo zoo;  // classic factories only; no brains are trained here
   for (const Expectation& e : kExpect) {
@@ -302,6 +304,114 @@ TEST(FleetFairness, HundredFlowIncastIsFairForEveryClassic) {
     EXPECT_GE(moved, e.min_moved) << e.name << ": flows starved of all bytes";
     EXPECT_GT(s.hop_utilization[0], 0.5) << e.name;
   }
+}
+
+TEST(FleetHealthRegression, MinRttCorruptionFiresOnCopaOnly) {
+  // The documented Copa 100-flow synchronized-incast collapse: the startup
+  // storm never lets the ~1 BDP droptail queue drain, late arrivals fold the
+  // standing queue into their lifetime min_rtt, their queue estimate
+  // dq = rtt_standing - min_rtt reads near zero, and the 1/(delta*dq) target
+  // rate locks them out. The detector must pin this exact signature —
+  // corrupted baseline AND goodput lockout — on Copa, and must stay silent
+  // for a loss-based (CUBIC) and a model-based (BBR) CCA in the same deep
+  // buffer, where every CCA's late flows inherit polluted baselines but keep
+  // their fair share.
+  struct Case {
+    const char* name;
+    bool expect_corruption;
+  };
+  const Case kCases[] = {{"copa", true}, {"cubic", false}, {"bbr", false}};
+  CcaZoo zoo;
+  for (const Case& c : kCases) {
+    FleetSpec spec = incast_fleet(100, /*rate_mbps=*/480.0, msec(1));
+    spec.buffer_bytes = 900 * 1000;  // ~1 BDP shared droptail
+    spec.duration = sec(6);
+    spec.warmup = sec(2);
+    FleetRunOptions run;
+    run.health = true;
+    FleetObsResult obs;
+    run_fleet(spec, zoo.factory(c.name), 17, run, &obs);
+    if (c.expect_corruption) {
+      EXPECT_GE(obs.health.count(IncidentKind::kMinRttCorruption), 1)
+          << c.name << ": the incast collapse signature went undetected";
+    } else {
+      EXPECT_EQ(obs.health.count(IncidentKind::kMinRttCorruption), 0)
+          << c.name << ": false positive on a CCA that keeps its fair share";
+    }
+  }
+}
+
+TEST(FleetHealthIdentity, ReportIsByteIdenticalSerialVsShardedForClassics) {
+  const FleetSpec spec = identity_spec();
+  FleetRunOptions serial;
+  serial.health = true;
+  FleetObsResult base;
+  run_fleet(spec, mixed_classic, 42, serial, &base);
+  ASSERT_FALSE(base.health.fleet.empty());
+  const std::string base_json = health_report_json(base.health);
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    FleetRunOptions sharded;
+    sharded.mode = FleetMode::kSharded;
+    sharded.threads = threads;
+    sharded.health = true;
+    FleetObsResult got;
+    run_fleet(spec, mixed_classic, 42, sharded, &got);
+    EXPECT_EQ(health_report_json(got.health), base_json)
+        << "health report diverged at threads=" << threads;
+    EXPECT_EQ(got.shard_events, base.shard_events)
+        << "per-shard event attribution diverged at threads=" << threads;
+  }
+}
+
+TEST(FleetHealthIdentity, ReportIsByteIdenticalSerialVsShardedForLearnedCca) {
+  RlCcaConfig cfg = libra_rl_config();
+  auto brain = std::make_shared<RlBrain>(make_ppo_config(cfg, 3, {8, 8}),
+                                         feature_frame_size(cfg.features));
+  auto make_flow = [&](int flow) -> std::unique_ptr<CongestionControl> {
+    if (flow % 2 == 0) return std::make_unique<Cubic>();
+    RlCcaConfig c = cfg;
+    c.training = false;
+    c.stochastic_inference = false;
+    return std::make_unique<RlCca>(c, brain);
+  };
+  FleetSpec spec = parking_lot_fleet(/*hops=*/2, /*cross_per_hop=*/2,
+                                     /*long_flows=*/2, /*rate_mbps=*/24.0);
+  spec.duration = sec(3);
+  spec.warmup = sec(1);
+  FleetRunOptions serial;
+  serial.health = true;
+  FleetObsResult base;
+  run_fleet(spec, make_flow, 5, serial, &base);
+  FleetRunOptions sharded;
+  sharded.mode = FleetMode::kSharded;
+  sharded.threads = 3;
+  sharded.health = true;
+  FleetObsResult got;
+  run_fleet(spec, make_flow, 5, sharded, &got);
+  EXPECT_EQ(health_report_json(got.health), health_report_json(base.health));
+}
+
+TEST(FleetEngine, BlackBoxRecorderOverwritesPastTheCap) {
+  FleetSpec spec = incast_fleet(8, 96.0);
+  spec.duration = sec(2);
+  FleetRunOptions run;
+  run.record_capacity = 1024;
+  FleetObsResult obs;
+  run_fleet(
+      spec, [] { return std::make_unique<Cubic>(); }, 3, run, &obs);
+  // Bounded memory: the ring holds at most the cap, older events were
+  // overwritten, and the totals reconcile exactly.
+  EXPECT_LE(obs.trace_buffered, 1024u);
+  EXPECT_GT(obs.trace_overwritten, 0u);
+  EXPECT_EQ(obs.trace_recorded, obs.trace_buffered + obs.trace_overwritten);
+}
+
+TEST(FleetEngine, RecordingRequiresSerialMode) {
+  FleetSpec spec = incast_fleet(2);
+  FleetOptions opts = fleet_options(spec, 1, {});
+  opts.mode = FleetMode::kSharded;
+  FleetNetwork net(fleet_links(spec), opts);
+  EXPECT_THROW(net.enable_recording(1024), std::logic_error);
 }
 
 }  // namespace

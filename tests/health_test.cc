@@ -1,0 +1,308 @@
+// FleetHealth unit tests: window-roll bookkeeping, the fixed-bucket RTT
+// percentile math, each anomaly detector on hand-built timelines, and the
+// JSON serialization contract. The end-to-end properties (detector behavior
+// on real fleet runs, serial/sharded byte-identity) live in fleet_test.cc.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/health.h"
+#include "obs/json_parse.h"
+
+namespace libra {
+namespace {
+
+std::vector<FleetFlowMeta> backlogged_metas(int flows,
+                                            std::int64_t min_rtt_us = 10'000) {
+  std::vector<FleetFlowMeta> metas(static_cast<std::size_t>(flows));
+  for (FleetFlowMeta& m : metas) m.min_rtt_us = min_rtt_us;
+  return metas;
+}
+
+TEST(FleetStats, RollFlushesAccumulatorsIntoTheFirstPendingWindow) {
+  FleetHealth h;
+  h.enable({});  // 100 ms windows
+  h.prepare(msec(300), backlogged_metas(1));
+
+  // Window 0: two ACKs, one send, one loss.
+  h.on_send(0);
+  h.on_ack(0, 1000, msec(10));
+  h.on_ack(0, 500, msec(12));
+  h.on_loss(0);
+  EXPECT_FALSE(h.needs_roll(0, msec(99)));
+  ASSERT_TRUE(h.needs_roll(0, msec(150)));
+  h.roll(0, msec(150), /*cwnd=*/5000, /*pacing_bps=*/1e6);
+
+  const FleetTimeline& tl = h.timeline();
+  ASSERT_EQ(tl.n_windows, 3);
+  const FlowWindowRow& w0 = tl.row(0, 0);
+  EXPECT_EQ(w0.acked_bytes, 1500);
+  EXPECT_EQ(w0.sent, 1);
+  EXPECT_EQ(w0.lost, 1);
+  EXPECT_EQ(w0.rtt_samples, 2);
+  EXPECT_EQ(w0.rtt_sum_us, msec(10) + msec(12));
+  EXPECT_EQ(w0.rtt_min_us, msec(10));
+  EXPECT_EQ(w0.cwnd_bytes, 5000);
+  EXPECT_EQ(w0.pacing_rate_bps, 1e6);
+
+  // Window 1 accumulates after the roll; flush_all closes 1 and 2.
+  h.on_ack(0, 2000, msec(20));
+  h.flush_all(0, /*cwnd=*/7000, /*pacing_bps=*/2e6);
+  EXPECT_EQ(tl.row(0, 1).acked_bytes, 2000);
+  EXPECT_EQ(tl.row(0, 1).cwnd_bytes, 7000);
+  EXPECT_EQ(tl.row(0, 2).acked_bytes, 0);
+  EXPECT_EQ(tl.row(0, 2).rtt_samples, 0);
+  EXPECT_EQ(tl.row(0, 2).cwnd_bytes, 7000);
+}
+
+TEST(FleetStats, SkippedWindowsFlushEmptyAndKeepTheGrid) {
+  FleetHealth h;
+  h.enable({});
+  h.prepare(msec(500), backlogged_metas(1));
+  h.on_ack(0, 100, msec(5));
+  // An idle gap: next event lands three windows later; windows 0-2 flush at
+  // once, the pending bytes belong to window 0 by the needs_roll invariant.
+  h.roll(0, msec(350), 1000, 0.0);
+  const FleetTimeline& tl = h.timeline();
+  EXPECT_EQ(tl.row(0, 0).acked_bytes, 100);
+  EXPECT_EQ(tl.row(0, 1).acked_bytes, 0);
+  EXPECT_EQ(tl.row(0, 2).acked_bytes, 0);
+  EXPECT_FALSE(h.needs_roll(0, msec(399)));
+  EXPECT_TRUE(h.needs_roll(0, msec(400)));
+}
+
+TEST(FleetStats, LastWindowAbsorbsTheFinalInstant) {
+  FleetHealth h;
+  h.enable({});
+  h.prepare(msec(200), backlogged_metas(1));
+  h.roll(0, msec(150), 0, 0.0);  // now in the last window
+  // t == duration events (and anything later) still belong to the last
+  // window: no roll fires past the end of the grid.
+  EXPECT_FALSE(h.needs_roll(0, msec(200)));
+  EXPECT_FALSE(h.needs_roll(0, msec(999)));
+  h.on_ack(0, 42, msec(1));
+  h.flush_all(0, 0, 0.0);
+  EXPECT_EQ(h.timeline().row(0, 1).acked_bytes, 42);
+}
+
+TEST(FleetStats, P95IsTheHistogramBucketUpperEdge) {
+  FleetHealth h;
+  h.enable({});  // 500 us buckets
+  h.prepare(msec(100), backlogged_metas(1));
+  // 95 samples in bucket [1000, 1500), 5 far above: rank ceil(95% of 100)
+  // = 95 lands in the low bucket, so p95 reports its upper edge.
+  for (int i = 0; i < 95; ++i) h.on_ack(0, 1, 1200);
+  for (int i = 0; i < 5; ++i) h.on_ack(0, 1, 20'000);
+  h.flush_all(0, 0, 0.0);
+  EXPECT_EQ(h.timeline().row(0, 0).rtt_p95_us, 1500);
+  EXPECT_EQ(h.timeline().row(0, 0).rtt_min_us, 1200);
+}
+
+TEST(FleetStats, P95OverflowBucketClampsToTheSpan) {
+  FleetStatsConfig cfg;  // 96 buckets x 500 us = 48 ms span
+  FleetHealth h;
+  h.enable(cfg);
+  h.prepare(msec(100), backlogged_metas(1));
+  for (int i = 0; i < 10; ++i) h.on_ack(0, 1, sec(1));
+  h.flush_all(0, 0, 0.0);
+  EXPECT_EQ(h.timeline().row(0, 0).rtt_p95_us, 96 * 500);
+}
+
+TEST(FleetStats, EnableRejectsBadLayouts) {
+  FleetHealth h;
+  FleetStatsConfig bad;
+  bad.window = 0;
+  EXPECT_THROW(h.enable(bad), std::invalid_argument);
+  bad.window = msec(100);
+  bad.rtt_buckets = 0;
+  EXPECT_THROW(h.enable(bad), std::invalid_argument);
+}
+
+// --- detectors on hand-built timelines --------------------------------------
+
+/// W windows of 100 ms for `flows` backlogged flows, every row pre-filled
+/// with `acked` bytes and a healthy RTT so individual tests only perturb the
+/// cells under test.
+FleetTimeline healthy_timeline(int flows, int windows,
+                               std::int64_t acked = 10'000) {
+  FleetTimeline tl;
+  tl.config = FleetStatsConfig{};
+  tl.duration = static_cast<SimDuration>(windows) * tl.config.window;
+  tl.n_windows = windows;
+  tl.metas = backlogged_metas(flows);
+  tl.rows.assign(static_cast<std::size_t>(flows * windows), FlowWindowRow{});
+  for (int f = 0; f < flows; ++f) {
+    for (int w = 0; w < windows; ++w) {
+      FlowWindowRow& row =
+          tl.rows[static_cast<std::size_t>(f * windows + w)];
+      row.acked_bytes = acked;
+      row.sent = 100;
+      row.lost = 0;
+      row.rtt_samples = 20;
+      row.rtt_sum_us = 20 * 12'000;
+      row.rtt_min_us = 10'000;
+      row.rtt_p95_us = 15'000;
+    }
+  }
+  return tl;
+}
+
+FlowWindowRow& row_ref(FleetTimeline& tl, int flow, int w) {
+  return tl.rows[static_cast<std::size_t>(flow * tl.n_windows + w)];
+}
+
+TEST(HealthDetect, HealthyTimelineProducesNoIncidents) {
+  const HealthReport r = analyze_health(healthy_timeline(4, 30));
+  EXPECT_TRUE(r.incidents.empty());
+  EXPECT_EQ(r.flows, 4);
+  EXPECT_EQ(r.n_windows, 30);
+  EXPECT_DOUBLE_EQ(r.path_floor_rtt_ms, 10.0);
+  ASSERT_EQ(r.fleet.size(), 30u);
+  EXPECT_EQ(r.fleet[0].active, 4);
+  EXPECT_EQ(r.fleet[0].progressing, 4);
+  EXPECT_DOUBLE_EQ(r.fleet[0].jain, 1.0);
+}
+
+TEST(HealthDetect, StarvationNeedsTheConfiguredRunLength) {
+  FleetTimeline tl = healthy_timeline(4, 30);
+  for (int w = 12; w < 30; ++w) row_ref(tl, 3, w).acked_bytes = 0;
+  const HealthReport r = analyze_health(tl);
+  ASSERT_EQ(r.count(IncidentKind::kStarvation), 1);
+  const Incident& inc = r.incidents[0];
+  EXPECT_EQ(inc.kind, IncidentKind::kStarvation);
+  EXPECT_EQ(inc.flow, 3);
+  EXPECT_EQ(inc.window, 12);
+  EXPECT_EQ(inc.span, 18);
+
+  // A run shorter than the threshold stays silent.
+  FleetTimeline ok = healthy_timeline(4, 30);
+  for (int w = 12; w < 21; ++w) row_ref(ok, 3, w).acked_bytes = 0;
+  EXPECT_FALSE(analyze_health(ok).has(IncidentKind::kStarvation));
+}
+
+TEST(HealthDetect, MinRttCorruptionRequiresBaselineAndLockout) {
+  // Flow 3's lifetime baseline absorbed 20 ms of standing queue AND its
+  // goodput collapsed to ~0.1% of fair share: the corruption incident.
+  FleetTimeline tl = healthy_timeline(4, 30);
+  tl.metas[3].min_rtt_us = 30'000;  // floor 10 ms, threshold max(18, 13) = 18
+  for (int w = 0; w < 30; ++w) row_ref(tl, 3, w).acked_bytes = 10;
+  const HealthReport r = analyze_health(tl);
+  ASSERT_EQ(r.count(IncidentKind::kMinRttCorruption), 1);
+  for (const Incident& inc : r.incidents) {
+    if (inc.kind != IncidentKind::kMinRttCorruption) continue;
+    EXPECT_EQ(inc.flow, 3);
+    EXPECT_DOUBLE_EQ(inc.value, 30.0);
+    EXPECT_DOUBLE_EQ(inc.baseline, 10.0);
+  }
+
+  // Same polluted baseline with a healthy goodput share: every CCA's late
+  // flows look like this in a deep buffer, and none of them is an incident.
+  FleetTimeline kept = healthy_timeline(4, 30);
+  kept.metas[3].min_rtt_us = 30'000;
+  EXPECT_FALSE(analyze_health(kept).has(IncidentKind::kMinRttCorruption));
+}
+
+TEST(HealthDetect, FairnessCollapseIsFleetScoped) {
+  // Windows 10-16: one flow hogs the window entirely; Jain over 4 active
+  // flows = 0.25 < 0.35 for 7 windows. Too short for starvation (needs 10).
+  FleetTimeline tl = healthy_timeline(4, 30);
+  for (int w = 10; w < 17; ++w)
+    for (int f = 1; f < 4; ++f) row_ref(tl, f, w).acked_bytes = 0;
+  const HealthReport r = analyze_health(tl);
+  EXPECT_FALSE(r.has(IncidentKind::kStarvation));
+  ASSERT_EQ(r.count(IncidentKind::kFairnessCollapse), 1);
+  for (const Incident& inc : r.incidents) {
+    if (inc.kind != IncidentKind::kFairnessCollapse) continue;
+    EXPECT_EQ(inc.flow, -1);
+    EXPECT_EQ(inc.window, 10);
+    EXPECT_EQ(inc.span, 7);
+    EXPECT_DOUBLE_EQ(inc.value, 0.25);
+  }
+}
+
+TEST(HealthDetect, RttBlowupComparesP95AgainstThePathFloor) {
+  FleetTimeline tl = healthy_timeline(4, 30);
+  for (int w = 12; w < 15; ++w) row_ref(tl, 1, w).rtt_p95_us = 100'000;
+  const HealthReport r = analyze_health(tl);
+  ASSERT_EQ(r.count(IncidentKind::kRttBlowup), 1);
+  const Incident& inc = r.incidents[0];
+  EXPECT_EQ(inc.flow, 1);
+  EXPECT_EQ(inc.span, 3);
+  EXPECT_DOUBLE_EQ(inc.value, 100.0);
+  EXPECT_DOUBLE_EQ(inc.threshold, 80.0);  // 8 x 10 ms floor
+
+  // Two windows (below rtt_blowup_windows = 3) stay silent.
+  FleetTimeline ok = healthy_timeline(4, 30);
+  for (int w = 12; w < 14; ++w) row_ref(ok, 1, w).rtt_p95_us = 100'000;
+  EXPECT_FALSE(analyze_health(ok).has(IncidentKind::kRttBlowup));
+}
+
+TEST(HealthDetect, RetxStormNeedsVolumeAndRate) {
+  FleetTimeline tl = healthy_timeline(4, 30);
+  row_ref(tl, 2, 11).lost = 50;
+  row_ref(tl, 2, 12).lost = 40;
+  const HealthReport r = analyze_health(tl);
+  ASSERT_EQ(r.count(IncidentKind::kRetxStorm), 1);
+  const Incident& inc = r.incidents[0];
+  EXPECT_EQ(inc.flow, 2);
+  EXPECT_EQ(inc.window, 11);
+  EXPECT_DOUBLE_EQ(inc.value, 0.5);
+
+  // Same loss fraction on negligible volume: not a storm.
+  FleetTimeline ok = healthy_timeline(4, 30);
+  row_ref(ok, 2, 11).sent = 10;
+  row_ref(ok, 2, 11).lost = 5;
+  row_ref(ok, 2, 12).sent = 10;
+  row_ref(ok, 2, 12).lost = 5;
+  EXPECT_FALSE(analyze_health(ok).has(IncidentKind::kRetxStorm));
+}
+
+TEST(HealthDetect, WarmupWindowsAreExemptFromWindowedDetectors) {
+  FleetTimeline tl = healthy_timeline(4, 30);
+  // A violent startup transient entirely inside the warmup: ignored.
+  for (int w = 0; w < 10; ++w) {
+    row_ref(tl, 0, w).lost = 90;
+    for (int f = 1; f < 4; ++f) row_ref(tl, f, w).acked_bytes = 0;
+  }
+  EXPECT_TRUE(analyze_health(tl).incidents.empty());
+}
+
+TEST(HealthDetect, IncidentsSortBySeverityWithDeterministicTieBreak) {
+  FleetTimeline tl = healthy_timeline(4, 40);
+  // Mild blowup on flow 1, severe storm on flow 2.
+  for (int w = 12; w < 15; ++w) row_ref(tl, 1, w).rtt_p95_us = 90'000;
+  for (int w = 11; w < 16; ++w) row_ref(tl, 2, w).lost = 95;
+  const HealthReport r = analyze_health(tl);
+  ASSERT_GE(r.incidents.size(), 2u);
+  EXPECT_EQ(r.incidents[0].kind, IncidentKind::kRetxStorm);
+  for (std::size_t i = 1; i < r.incidents.size(); ++i)
+    EXPECT_GE(r.incidents[i - 1].severity, r.incidents[i].severity);
+}
+
+TEST(HealthJson, ReportIsOneParsableLineWithTheContractFields) {
+  FleetTimeline tl = healthy_timeline(4, 30);
+  for (int w = 12; w < 30; ++w) row_ref(tl, 3, w).acked_bytes = 0;
+  const HealthReport r = analyze_health(tl);
+  const std::string doc = health_report_json(r);
+  EXPECT_EQ(doc.find('\n'), std::string::npos);
+
+  const JsonValue v = json_parse(doc);
+  const JsonValue* h = v.find("health");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("windows")->number_or(0), 30);
+  EXPECT_EQ(h->find("flows")->number_or(0), 4);
+  EXPECT_DOUBLE_EQ(h->find("path_floor_rtt_ms")->number_or(0), 10.0);
+  ASSERT_TRUE(h->find("fleet")->is_array());
+  EXPECT_EQ(h->find("fleet")->array.size(), 30u);
+  const JsonValue& w0 = h->find("fleet")->array[0];
+  // 4 flows x 10 KB per 100 ms window = 3.2 Mbps.
+  EXPECT_DOUBLE_EQ(w0.find("goodput_bps")->number_or(0), 3.2e6);
+  ASSERT_TRUE(h->find("incidents")->is_array());
+  ASSERT_EQ(h->find("incidents")->array.size(), 1u);
+  EXPECT_EQ(h->find("incidents")->array[0].find("kind")->string_or(""),
+            "starvation");
+}
+
+}  // namespace
+}  // namespace libra

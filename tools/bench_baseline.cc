@@ -263,7 +263,7 @@ double wl_lte_trace_ms() {
 // the pair measures the SoA scan's speedup in wall ms per simulated second.
 
 FleetSummary run_fleet_incast(int flows, bool soa_scan, double sim_seconds,
-                              double rate_mbps = 960.0) {
+                              double rate_mbps = 960.0, bool health = false) {
   FleetSpec spec = incast_fleet(flows, rate_mbps, msec(1));
   spec.duration = static_cast<SimDuration>(sim_seconds * 1e6);
   spec.warmup = msec(250);
@@ -271,6 +271,7 @@ FleetSummary run_fleet_incast(int flows, bool soa_scan, double sim_seconds,
   FleetOptions opts = fleet_options(spec, 11, {});
   opts.soa_scan = soa_scan;
   FleetNetwork net(fleet_links(spec), opts);
+  if (health) net.enable_health();
   for (const FleetFlowPlan& p : plans) {
     FleetFlowDef def;
     def.cca = std::make_unique<Cubic>();
@@ -287,6 +288,14 @@ FleetSummary run_fleet_incast(int flows, bool soa_scan, double sim_seconds,
 
 double wl_fleet_incast_100_ns() {
   FleetSummary s = run_fleet_incast(100, /*soa_scan=*/true, 1.0);
+  return s.wall_time_s * 1e9 / static_cast<double>(s.events_processed);
+}
+
+double wl_fleet_health_100_ns() {
+  // fleet_incast_100 with the windowed health accumulators on: the pair
+  // bounds the streaming-health hot-path overhead (acceptance: <= 5%).
+  FleetSummary s =
+      run_fleet_incast(100, /*soa_scan=*/true, 1.0, 960.0, /*health=*/true);
   return s.wall_time_s * 1e9 / static_cast<double>(s.events_processed);
 }
 
@@ -330,6 +339,7 @@ constexpr MetricDef kMetrics[] = {
     {"telemetry_sample_1ms", "ms/run", 0.75, wl_telemetry_sample_1ms_ms},
     {"lte_trace_synthesis_60s", "ms/trace", 0.50, wl_lte_trace_ms},
     {"fleet_incast_100", "ns/event", 0.75, wl_fleet_incast_100_ns},
+    {"fleet_health_100", "ns/event", 0.75, wl_fleet_health_100_ns},
     {"fleet_incast_1000", "ns/event", 0.75, wl_fleet_incast_1000_ns},
     {"fleet_incast_1000_soa", "ms/simsec", 0.75, wl_fleet_incast_1000_soa_ms},
     {"fleet_incast_1000_naive", "ms/simsec", 0.75, wl_fleet_incast_1000_naive_ms},

@@ -38,6 +38,9 @@ struct Options {
   bool events_only = false;
   bool soa = true;
   double stagger_ms = -1;  // <0: topology default
+  std::int64_t buffer_bytes = 0;  // 0: topology default
+  bool health = false;
+  std::size_t record = 0;  // >0: black-box ring capacity (events)
 };
 
 int usage(const char* argv0) {
@@ -47,10 +50,15 @@ int usage(const char* argv0) {
          "       [--long-flows=N] [--cca=NAME] [--rate=MBPS] [--duration=S]\n"
          "       [--warmup=S] [--mode=serial|sharded] [--threads=N]\n"
          "       [--sender-shards=N] [--churn] [--seed=N] [--events-only]\n"
-         "       [--soa=0|1] [--stagger=MS]\n\n"
+         "       [--soa=0|1] [--stagger=MS] [--buffer=BYTES] [--health]\n"
+         "       [--record=EVENTS]\n\n"
          "Prints a deterministic JSON summary of the run on stdout (identical\n"
          "for serial and sharded modes at any thread count) and the\n"
-         "host-dependent wall-clock stats on stderr.\n";
+         "host-dependent wall-clock stats on stderr.\n\n"
+         "--health adds a \"health\" object: the windowed fleet timeline plus\n"
+         "severity-ranked anomaly incidents (also mode-invariant).\n"
+         "--record=N keeps a black-box ring of the last N trace events\n"
+         "(bounded memory; serial mode only); ring stats go to stderr.\n";
   return 2;
 }
 
@@ -89,6 +97,12 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.soa = std::atoi(v) != 0;
     } else if (const char* v = value("--stagger=")) {
       o.stagger_ms = std::atof(v);
+    } else if (const char* v = value("--buffer=")) {
+      o.buffer_bytes = std::atoll(v);
+    } else if (const char* v = value("--record=")) {
+      o.record = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--health") {
+      o.health = true;
     } else if (arg == "--churn") {
       o.churn = true;
     } else if (arg == "--events-only") {
@@ -118,6 +132,7 @@ int run(const Options& o) {
     spec.stagger = static_cast<SimDuration>(o.stagger_ms * 1e3);
   spec.sender_shards = o.sender_shards;
   spec.churn.enabled = o.churn;
+  if (o.buffer_bytes > 0) spec.buffer_bytes = o.buffer_bytes;
 
   FleetRunOptions run_opts;
   if (o.mode == "sharded") {
@@ -128,9 +143,13 @@ int run(const Options& o) {
   }
   run_opts.threads = o.threads;
   run_opts.soa_scan = o.soa;
+  run_opts.health = o.health;
+  run_opts.record_capacity = o.record;
 
   CcaZoo zoo;
-  const FleetSummary s = run_fleet(spec, zoo.factory(o.cca), o.seed, run_opts);
+  FleetObsResult obs;
+  const FleetSummary s =
+      run_fleet(spec, zoo.factory(o.cca), o.seed, run_opts, &obs);
 
   if (o.events_only) {
     std::printf("%llu\n", static_cast<unsigned long long>(s.events_processed));
@@ -163,11 +182,41 @@ int run(const Options& o) {
       w.end_object();
     }
     w.end_array();
+    if (o.health) {
+      w.key("health");
+      write_health_json(w, obs.health);
+    }
     w.end_object();
     std::printf("%s\n", out.c_str());
   }
   std::fprintf(stderr, "wall_s=%.3f events_per_wall_s=%.0f mode=%s threads=%zu\n",
                s.wall_time_s, s.events_per_wall_s(), o.mode.c_str(), o.threads);
+  // Per-shard event counts + imbalance (max/mean): the data sharded-speedup
+  // investigations need to tell skew from overhead. Deterministic, but kept
+  // on stderr with the wall stats so stdout stays the byte-diffed summary.
+  if (!obs.shard_events.empty()) {
+    std::uint64_t total = 0, max_ev = 0;
+    std::string list;
+    for (std::size_t i = 0; i < obs.shard_events.size(); ++i) {
+      const std::uint64_t n = obs.shard_events[i];
+      total += n;
+      if (n > max_ev) max_ev = n;
+      if (i) list += ',';
+      list += std::to_string(n);
+    }
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(obs.shard_events.size());
+    std::fprintf(stderr, "shards=%zu shard_events=%s imbalance=%.3f\n",
+                 obs.shard_events.size(), list.c_str(),
+                 mean > 0 ? static_cast<double>(max_ev) / mean : 0.0);
+  }
+  if (o.record > 0) {
+    std::fprintf(stderr,
+                 "trace recorded=%llu overwritten=%llu buffered=%llu cap=%zu\n",
+                 static_cast<unsigned long long>(obs.trace_recorded),
+                 static_cast<unsigned long long>(obs.trace_overwritten),
+                 static_cast<unsigned long long>(obs.trace_buffered), o.record);
+  }
   return 0;
 }
 

@@ -11,6 +11,11 @@
 // spikes survive decimation. Libra stage transitions (exact-time telemetry
 // events) appear as dashed markers on the throughput lane.
 //
+// Inputs that carry a "health" object (the `fleet_run --health` summary)
+// render as a fleet-health page instead: per-window fleet goodput, Jain
+// index, and RTT lanes from the health timeline, followed by the
+// severity-ranked incident table (obs/health.h detectors).
+//
 // Design rules (kept deliberately boring): one y-axis per lane, a fixed
 // categorical palette assigned by flow id (never re-assigned when flows come
 // and go), at most 8 plotted flows (the rest fold into a note), values
@@ -89,6 +94,25 @@ struct RunData {
   std::map<int, std::map<std::string, Column>> flows;   // id -> col name -> data
   std::map<int, std::map<std::string, Column>> queues;
   std::vector<StageEvent> stages;
+};
+
+/// Parsed `fleet_run --health` document (one JSON object with a "health"
+/// key; the surrounding summary fields are picked up when present).
+struct HealthDoc {
+  std::string path, scenario, cca;
+  double window_s = 0, duration_s = 0, floor_ms = 0;
+  int flows = 0;
+  struct Win {
+    double t_s = 0, goodput_bps = 0, jain = 0, avg_rtt_ms = 0, p95_rtt_ms = 0;
+    double sent = 0, lost = 0, active = 0, progressing = 0;
+  };
+  std::vector<Win> wins;
+  struct Inc {
+    std::string kind, detail;
+    int flow = -1, window = 0, span = 1;
+    double severity = 0, value = 0, threshold = 0;
+  };
+  std::vector<Inc> incidents;
 };
 
 std::string html_escape(std::string_view s) {
@@ -180,6 +204,91 @@ bool load_run(const std::string& path, RunData& run) {
   if (run.flows.empty() && run.queues.empty()) {
     std::cerr << "error: " << path << ": no telemetry series found\n";
     return false;
+  }
+  return true;
+}
+
+/// True when the file's first non-empty line is a JSON object carrying a
+/// "health" key (the fleet_run --health summary format).
+bool sniff_health(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      JsonValue v = json_parse(line);
+      return v.find("health") != nullptr;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return false;
+}
+
+bool load_health(const std::string& path, HealthDoc& hd) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open " << path << "\n";
+    return false;
+  }
+  hd.path = path;
+  std::string line;
+  while (std::getline(in, line) && line.empty()) {
+  }
+  JsonValue doc;
+  try {
+    doc = json_parse(line);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << path << ": " << e.what() << "\n";
+    return false;
+  }
+  if (const JsonValue* s = doc.find("scenario")) hd.scenario = s->string_or("");
+  if (const JsonValue* s = doc.find("cca")) hd.cca = s->string_or("");
+  const JsonValue* h = doc.find("health");
+  if (!h) {
+    std::cerr << "error: " << path << ": no \"health\" object\n";
+    return false;
+  }
+  if (const JsonValue* v = h->find("window_us"))
+    hd.window_s = v->number_or(0) / 1e6;
+  if (const JsonValue* v = h->find("duration_s")) hd.duration_s = v->number_or(0);
+  if (const JsonValue* v = h->find("path_floor_rtt_ms"))
+    hd.floor_ms = v->number_or(0);
+  if (const JsonValue* v = h->find("flows"))
+    hd.flows = static_cast<int>(v->number_or(0));
+  auto num = [](const JsonValue& obj, const char* key) {
+    const JsonValue* v = obj.find(key);
+    return v ? v->number_or(0) : 0.0;
+  };
+  if (const JsonValue* arr = h->find("fleet"); arr && arr->is_array()) {
+    for (const JsonValue& w : arr->array) {
+      HealthDoc::Win win;
+      win.t_s = num(w, "t_s");
+      win.goodput_bps = num(w, "goodput_bps");
+      win.jain = num(w, "jain");
+      win.avg_rtt_ms = num(w, "avg_rtt_ms");
+      win.p95_rtt_ms = num(w, "max_p95_rtt_ms");
+      win.sent = num(w, "sent");
+      win.lost = num(w, "lost");
+      win.active = num(w, "active");
+      win.progressing = num(w, "progressing");
+      hd.wins.push_back(win);
+    }
+  }
+  if (const JsonValue* arr = h->find("incidents"); arr && arr->is_array()) {
+    for (const JsonValue& i : arr->array) {
+      HealthDoc::Inc inc;
+      if (const JsonValue* v = i.find("kind")) inc.kind = v->string_or("");
+      if (const JsonValue* v = i.find("detail")) inc.detail = v->string_or("");
+      inc.flow = static_cast<int>(num(i, "flow"));
+      inc.window = static_cast<int>(num(i, "window"));
+      inc.span = static_cast<int>(num(i, "span"));
+      inc.severity = num(i, "severity");
+      inc.value = num(i, "value");
+      inc.threshold = num(i, "threshold");
+      hd.incidents.push_back(inc);
+    }
   }
   return true;
 }
@@ -505,8 +614,84 @@ void render_run(std::ostream& out, const RunData& run, std::size_t top_flows) {
   out << "</tbody></table>\n</section>\n";
 }
 
+void render_health(std::ostream& out, const HealthDoc& hd) {
+  out << "<section>\n<h2>" << html_escape(hd.path) << "</h2>\n";
+  out << "<p class=\"note\">fleet health";
+  if (!hd.scenario.empty()) out << " — " << html_escape(hd.scenario);
+  if (!hd.cca.empty()) out << " / " << html_escape(hd.cca);
+  out << ": " << hd.flows << " flows, " << fmt(hd.window_s * 1e3, 0)
+      << " ms windows over " << fmt(hd.duration_s, 1)
+      << " s, path floor RTT " << fmt(hd.floor_ms, 2) << " ms, "
+      << hd.incidents.size() << " incident(s)</p>\n";
+
+  auto lane_of = [&](const char* title, const char* unit, int color,
+                     double (*line)(const HealthDoc::Win&),
+                     double (*hi)(const HealthDoc::Win&)) {
+    Lane lane;
+    lane.title = title;
+    lane.unit = unit;
+    lane.band = hi != nullptr;
+    Series s;
+    s.label = title;
+    s.color = color;
+    for (const HealthDoc::Win& w : hd.wins) {
+      const double v = line(w);
+      s.t_s.push_back(w.t_s + hd.window_s / 2);
+      s.line.push_back(v);
+      s.lo.push_back(v);
+      s.hi.push_back(hi ? hi(w) : v);
+    }
+    lane.series.push_back(std::move(s));
+    return lane;
+  };
+
+  render_lane(out, lane_of(
+                       "Fleet goodput", "Mbps", 0,
+                       [](const HealthDoc::Win& w) { return w.goodput_bps / 1e6; },
+                       nullptr));
+  render_lane(out, lane_of(
+                       "Jain fairness (active flows)", "index", 2,
+                       [](const HealthDoc::Win& w) { return w.jain; }, nullptr));
+  // RTT lane: line = fleet mean, band up to the worst per-flow p95.
+  render_lane(out, lane_of(
+                       "RTT (mean, band to worst flow p95)", "ms", 1,
+                       [](const HealthDoc::Win& w) { return w.avg_rtt_ms; },
+                       [](const HealthDoc::Win& w) { return w.p95_rtt_ms; }));
+  render_lane(out, lane_of(
+                       "Losses per window", "packets", 7,
+                       [](const HealthDoc::Win& w) { return w.lost; }, nullptr));
+
+  if (hd.incidents.empty()) {
+    out << "<p class=\"note\">no incidents detected</p>\n</section>\n";
+    return;
+  }
+  constexpr std::size_t kMaxIncidentRows = 40;
+  out << "<table><thead><tr><th>kind</th><th>flow</th><th>from (s)</th>"
+         "<th>span (s)</th><th>severity</th><th>value</th><th>threshold</th>"
+         "<th>detail</th></tr></thead><tbody>\n";
+  const std::size_t n = std::min(kMaxIncidentRows, hd.incidents.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const HealthDoc::Inc& inc = hd.incidents[i];
+    out << "<tr><td>" << html_escape(inc.kind) << "</td><td>"
+        << (inc.flow < 0 ? std::string("fleet") : std::to_string(inc.flow))
+        << "</td><td>" << fmt(static_cast<double>(inc.window) * hd.window_s, 1)
+        << "</td><td>" << fmt(static_cast<double>(inc.span) * hd.window_s, 1)
+        << "</td><td>" << fmt(inc.severity) << "</td><td>" << fmt(inc.value)
+        << "</td><td>" << fmt(inc.threshold) << "</td><td class=\"detail\">"
+        << html_escape(inc.detail) << "</td></tr>\n";
+  }
+  out << "</tbody></table>\n";
+  if (hd.incidents.size() > kMaxIncidentRows) {
+    out << "<p class=\"note\">showing the " << kMaxIncidentRows
+        << " most severe of " << hd.incidents.size() << " incidents</p>\n";
+  }
+  out << "</section>\n";
+}
+
 void render_document(std::ostream& out, const std::string& title,
-                     const std::vector<RunData>& runs, std::size_t top_flows) {
+                     const std::vector<RunData>& runs,
+                     const std::vector<HealthDoc>& healths,
+                     std::size_t top_flows) {
   out << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
          "<meta charset=\"utf-8\">\n"
          "<meta name=\"viewport\" content=\"width=device-width\">\n"
@@ -540,9 +725,11 @@ void render_document(std::ostream& out, const std::string& title,
          "border-radius:2px;margin-right:.35rem}\n"
          "table{border-collapse:collapse;font-size:.85rem;margin:.6rem 0}\n"
          "td,th{border:1px solid var(--grid);padding:.25rem .6rem;"
-         "text-align:right}th:first-child,td:first-child{text-align:left}\n";
+         "text-align:right}th:first-child,td:first-child{text-align:left}\n"
+         "td.detail{text-align:left;color:var(--muted)}\n";
   out << "</style>\n</head>\n<body>\n<h1>" << html_escape(title) << "</h1>\n";
   for (const RunData& run : runs) render_run(out, run, top_flows);
+  for (const HealthDoc& hd : healths) render_health(out, hd);
   out << "</body>\n</html>\n";
 }
 
@@ -575,7 +762,14 @@ int main(int argc, char** argv) {
   }
 
   std::vector<RunData> runs;
+  std::vector<HealthDoc> healths;
   for (const std::string& path : paths) {
+    if (sniff_health(path)) {
+      HealthDoc hd;
+      if (!load_health(path, hd)) return 1;
+      healths.push_back(std::move(hd));
+      continue;
+    }
     RunData run;
     if (!load_run(path, run)) return 1;
     runs.push_back(std::move(run));
@@ -586,8 +780,9 @@ int main(int argc, char** argv) {
     std::cerr << "error: cannot open " << out_path << "\n";
     return 1;
   }
-  render_document(out, title, runs, top_flows);
+  render_document(out, title, runs, healths, top_flows);
   out.close();
-  std::cerr << "wrote " << out_path << " (" << runs.size() << " run(s))\n";
+  std::cerr << "wrote " << out_path << " (" << runs.size() << " run(s), "
+            << healths.size() << " health doc(s))\n";
   return 0;
 }
