@@ -138,6 +138,32 @@ if [[ "$RUN_TIER1" == 1 ]]; then
     echo "fleet health smoke: report_html did not render the health page" >&2
     exit 1; }
   echo "fleet health smoke: ok"
+
+  echo "== datacenter smoke: DCTCP/ECN incast, mode-invariant =="
+  # The ECN path end to end: switch marks at the threshold, the CE echo rides
+  # the ACK back, DCTCP scales cwnd by alpha — and none of it may perturb the
+  # serial==sharded byte-identity promise. Same for the token-bucket policer.
+  ./build/tools/fleet_run --topo=incast --flows=100 --duration=3 \
+    --cca=dctcp --ecn=45000 --mode=serial \
+    > "$TRACE_DIR/dc_serial.json" 2>/dev/null
+  ./build/tools/fleet_run --topo=incast --flows=100 --duration=3 \
+    --cca=dctcp --ecn=45000 --mode=sharded --threads=2 \
+    > "$TRACE_DIR/dc_sharded.json" 2>/dev/null
+  diff "$TRACE_DIR/dc_serial.json" "$TRACE_DIR/dc_sharded.json" || {
+    echo "datacenter smoke: DCTCP/ECN sharded summary diverged" >&2; exit 1; }
+  ./build/tools/json_check "$TRACE_DIR/dc_serial.json"
+  grep -q '"cca":"dctcp"' "$TRACE_DIR/dc_serial.json" || {
+    echo "datacenter smoke: summary is not a dctcp run" >&2; exit 1; }
+  ./build/tools/fleet_run --topo=parking_lot --hops=3 --duration=3 \
+    --cca=bbr --policer-rate=12 --policer-start=1 --mode=serial \
+    > "$TRACE_DIR/policed_serial.json" 2>/dev/null
+  ./build/tools/fleet_run --topo=parking_lot --hops=3 --duration=3 \
+    --cca=bbr --policer-rate=12 --policer-start=1 --mode=sharded --threads=2 \
+    > "$TRACE_DIR/policed_sharded.json" 2>/dev/null
+  diff "$TRACE_DIR/policed_serial.json" "$TRACE_DIR/policed_sharded.json" || {
+    echo "datacenter smoke: policed sharded summary diverged" >&2; exit 1; }
+  ./build/tools/json_check "$TRACE_DIR/policed_serial.json"
+  echo "datacenter smoke: ok"
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then

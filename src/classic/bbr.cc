@@ -1,6 +1,7 @@
 #include "classic/bbr.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace libra {
 
@@ -19,21 +20,29 @@ void Bbr::on_packet_sent(const SendEvent& ev) {
   bytes_in_flight_ = ev.bytes_in_flight;
 }
 
+RateBps Bbr::bw() const {
+  if (lt_use_bw_) return lt_bw_;
+  return max_bw_.valid() ? max_bw_.best() : 0;
+}
+
 std::int64_t Bbr::bdp_bytes(double gain) const {
-  if (!max_bw_.valid() || min_rtt_ <= 0) return 10 * params_.mss;
-  double bdp = max_bw_.best() / 8.0 * to_seconds(min_rtt_);
+  const RateBps b = bw();
+  if (b <= 0 || min_rtt_ <= 0) return 10 * params_.mss;
+  double bdp = b / 8.0 * to_seconds(min_rtt_);
   return std::max<std::int64_t>(static_cast<std::int64_t>(gain * bdp),
                                 4 * params_.mss);
 }
 
 RateBps Bbr::pacing_rate() const {
-  RateBps bw = max_bw_.valid() ? max_bw_.best() : 0;
-  if (bw <= 0) {
+  const RateBps b = bw();
+  if (b <= 0) {
     // Before the first bandwidth sample: pace the initial window over a
     // nominal 1 ms so STARTUP can begin aggressively but boundedly.
     return mbps(10);
   }
-  return pacing_gain_ * bw;
+  // While the long-term model is in charge the gain is pinned to 1: probing
+  // above a policer's rate only buys drops.
+  return lt_use_bw_ ? b : pacing_gain_ * b;
 }
 
 std::int64_t Bbr::cwnd_bytes() const {
@@ -94,8 +103,96 @@ void Bbr::advance_cycle_phase(SimTime now, std::int64_t bytes_in_flight) {
   }
 }
 
+// --- long-term bandwidth estimation (policer detection) --------------------
+//
+// A token-bucket policer shows up as a repeating signature: intervals of
+// steady delivery at the policed rate punctuated by bursts of loss whenever
+// the bucket empties. The estimator samples (delivered, lost) over intervals
+// of lt_intvl_min_rtts..4x that many round trips; an interval is only closed
+// at a loss, must carry at least lt_loss_thresh loss fraction, and when two
+// consecutive such intervals measure the same rate (within 1/8, or 4 kbps)
+// the model pins pacing to their average for lt_bw_max_rtts rounds.
+
+void Bbr::reset_lt_sampling() {
+  lt_is_sampling_ = false;
+  lt_use_bw_ = false;
+  lt_bw_ = 0;
+  lt_rtt_cnt_ = 0;
+}
+
+void Bbr::reset_lt_interval(SimTime now) {
+  lt_last_stamp_ = now;
+  lt_last_delivered_pkts_ = delivered_pkts_;
+  lt_last_delivered_bytes_ = delivered_bytes_acc_;
+  lt_last_lost_ = lost_pkts_;
+  lt_rtt_cnt_ = 0;
+}
+
+void Bbr::lt_bw_interval_done(SimTime now, RateBps bw_sample) {
+  if (lt_bw_ > 0) {
+    const RateBps diff = std::abs(bw_sample - lt_bw_);
+    if (diff <= params_.lt_bw_ratio * lt_bw_ || diff <= params_.lt_bw_diff) {
+      // Two consecutive intervals agree: believe the path is policed at
+      // their average and stop probing above it.
+      lt_bw_ = (bw_sample + lt_bw_) / 2;
+      lt_use_bw_ = true;
+      pacing_gain_ = 1.0;
+      lt_rtt_cnt_ = 0;
+      /// Trace code 2: long-term model engaged — pinned rate.
+      record_cca_event(now, 2, lt_bw_);
+      return;
+    }
+  }
+  lt_bw_ = bw_sample;
+  reset_lt_interval(now);
+}
+
+void Bbr::lt_bw_sampling(const AckEvent& ack, std::int64_t losses) {
+  if (lt_use_bw_) {
+    // Using the long-term model: after lt_bw_max_rtts rounds of PROBE_BW,
+    // forget it and re-probe (the policer may have lifted).
+    if (mode_ == Mode::kProbeBw && round_start_ &&
+        ++lt_rtt_cnt_ >= params_.lt_bw_max_rtts) {
+      reset_lt_sampling();
+      enter_probe_bw(ack.now);
+    }
+    return;
+  }
+  // Wait for the first loss: an unpoliced path never starts an interval.
+  if (!lt_is_sampling_) {
+    if (losses == 0) return;
+    reset_lt_interval(ack.now);
+    lt_is_sampling_ = true;
+  }
+  if (round_start_) ++lt_rtt_cnt_;
+  if (lt_rtt_cnt_ < params_.lt_intvl_min_rtts) return;
+  if (lt_rtt_cnt_ > 4 * params_.lt_intvl_min_rtts) {
+    // Interval grew too long to be one bucket cycle: start over.
+    reset_lt_sampling();
+    return;
+  }
+  // Close the interval only at a loss, so it spans whole bucket cycles.
+  if (losses == 0) return;
+  const std::int64_t delivered = delivered_pkts_ - lt_last_delivered_pkts_;
+  const std::int64_t lost = lost_pkts_ - lt_last_lost_;
+  if (delivered <= 0) return;
+  if (static_cast<double>(lost) <
+      params_.lt_loss_thresh * static_cast<double>(delivered))
+    return;
+  const SimDuration t = ack.now - lt_last_stamp_;
+  if (t <= 0) return;
+  const RateBps bw_sample =
+      static_cast<double>(delivered_bytes_acc_ - lt_last_delivered_bytes_) *
+      8.0 / to_seconds(t);
+  lt_bw_interval_done(ack.now, bw_sample);
+}
+
 void Bbr::on_ack(const AckEvent& ack) {
   bytes_in_flight_ = ack.bytes_in_flight;
+  ++delivered_pkts_;
+  delivered_bytes_acc_ += ack.acked_bytes;
+  const std::int64_t losses = losses_since_ack_;
+  losses_since_ack_ = 0;
 
   // Round accounting: a round trip ends when a packet sent after the previous
   // round's end is acknowledged.
@@ -105,6 +202,8 @@ void Bbr::on_ack(const AckEvent& ack) {
     ++round_count_;
     round_start_ = true;
   }
+
+  lt_bw_sampling(ack, losses);
 
   if (ack.delivery_rate > 0) {
     max_bw_.update(ack.delivery_rate, static_cast<SimTime>(round_count_));
@@ -152,6 +251,8 @@ void Bbr::maybe_exit_probe_rtt(SimTime now) {
 }
 
 void Bbr::on_loss(const LossEvent& loss) {
+  ++lost_pkts_;
+  ++losses_since_ack_;
   // BBR v1 does not treat individual losses as congestion; only a timeout
   // (persistent blackout) conservatively resets the model.
   if (loss.from_timeout) {

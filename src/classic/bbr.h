@@ -18,6 +18,18 @@ struct BbrParams {
   int bw_filter_rounds = 10;
   SimDuration min_rtt_window = sec(10);
   SimDuration probe_rtt_duration = msec(200);
+
+  // Long-term ("lt") bandwidth estimation for token-bucket policer detection
+  // (the kernel's bbr_lt_* machinery): sample delivered/lost over intervals
+  // of 4-16 round trips; an interval with a loss fraction of at least
+  // lt_loss_thresh whose rate agrees with the previous interval's within
+  // lt_bw_ratio (or lt_bw_diff absolute) pins pacing to the average of the
+  // two — the policed rate — for lt_bw_max_rtts rounds before re-probing.
+  int lt_intvl_min_rtts = 4;
+  double lt_loss_thresh = 0.2;     // 2/10 of an interval's packets lost
+  double lt_bw_ratio = 0.125;      // consecutive samples agree within 1/8
+  RateBps lt_bw_diff = kbps(4);    // ... or within 4 kbps absolute
+  int lt_bw_max_rtts = 48;         // use lt_bw this long, then re-probe
 };
 
 class Bbr final : public CongestionControl {
@@ -40,6 +52,11 @@ class Bbr final : public CongestionControl {
   SimDuration min_rtt() const { return min_rtt_; }
   int probe_bw_phase() const { return cycle_index_; }
 
+  /// Long-term estimator state: when lt_use_bw() the model believes the path
+  /// is policed and paces at lt_bw() with unit gain.
+  bool lt_use_bw() const { return lt_use_bw_; }
+  RateBps lt_bw() const { return lt_bw_; }
+
  private:
   /// Trace code 1: mode transition — new mode index and pacing gain.
   void record_mode(SimTime now) const {
@@ -53,6 +70,14 @@ class Bbr final : public CongestionControl {
   void check_full_bandwidth();
   void update_min_rtt(SimTime now, SimDuration rtt);
   std::int64_t bdp_bytes(double gain) const;
+
+  /// The bandwidth the model actually uses: lt_bw while pinned, else the
+  /// windowed max filter.
+  RateBps bw() const;
+  void lt_bw_sampling(const AckEvent& ack, std::int64_t losses);
+  void lt_bw_interval_done(SimTime now, RateBps bw_sample);
+  void reset_lt_sampling();
+  void reset_lt_interval(SimTime now);
 
   BbrParams params_;
   Mode mode_ = Mode::kStartup;
@@ -81,6 +106,23 @@ class Bbr final : public CongestionControl {
   double pacing_gain_ = 2.885;
   std::int64_t bytes_in_flight_ = 0;
   Mode mode_before_probe_rtt_ = Mode::kStartup;
+
+  // Long-term bandwidth estimation (policer detection). Delivered/lost run
+  // as cumulative counters; on_loss() banks losses into losses_since_ack_,
+  // which the next on_ack() consumes as that ACK's loss annotation (the
+  // rate_sample->losses analog).
+  std::int64_t delivered_pkts_ = 0;
+  std::int64_t delivered_bytes_acc_ = 0;
+  std::int64_t lost_pkts_ = 0;
+  std::int64_t losses_since_ack_ = 0;
+  bool lt_is_sampling_ = false;
+  bool lt_use_bw_ = false;
+  int lt_rtt_cnt_ = 0;
+  RateBps lt_bw_ = 0;
+  SimTime lt_last_stamp_ = 0;
+  std::int64_t lt_last_delivered_pkts_ = 0;
+  std::int64_t lt_last_delivered_bytes_ = 0;
+  std::int64_t lt_last_lost_ = 0;
 };
 
 }  // namespace libra

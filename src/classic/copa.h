@@ -13,13 +13,24 @@ namespace libra {
 struct CopaParams {
   std::int64_t mss = kDefaultPacketBytes;
   double delta = 0.5;  // 1/delta packets of standing queue at equilibrium
+  /// Window for the propagation-delay (min-RTT) estimate. Copa used to
+  /// consume the sender's *lifetime* minimum, which a synchronized incast
+  /// startup corrupts permanently: flows that sampled the path at different
+  /// queue levels keep incompatible baselines forever, and the unlucky ones
+  /// compute a huge standing queue, collapse to 2 MSS, and lock out (<1% of
+  /// fair share; see the 100-flow regression in tests/fleet_test.cc). A
+  /// windowed minimum forgets the startup storm: every flow's baseline
+  /// re-converges to the same recent queue floor within one window, making
+  /// dq comparable across the fleet again.
+  SimDuration min_rtt_window = sec(2);
 };
 
 class Copa final : public CongestionControl {
  public:
   explicit Copa(CopaParams params = {})
       : params_(params), cwnd_(10 * params.mss),
-        rtt_standing_(msec(100) /*placeholder; reset per srtt/2*/) {}
+        rtt_standing_(msec(100) /*placeholder; reset per srtt/2*/),
+        min_rtt_filter_(params.min_rtt_window) {}
 
   void on_packet_sent(const SendEvent& ev) override { epoch_.on_sent(ev.seq); }
 
@@ -29,8 +40,11 @@ class Copa final : public CongestionControl {
     // Standing RTT: min over the last srtt/2 — rides below jitter but tracks
     // the persistent queue.
     rtt_standing_.update(ack.rtt, ack.now);
+    // Windowed propagation-delay estimate (not ack.min_rtt: see
+    // CopaParams::min_rtt_window for why the lifetime minimum is unusable).
+    min_rtt_filter_.update(ack.rtt, ack.now);
 
-    double dq = to_seconds(rtt_standing_.best() - ack.min_rtt);
+    double dq = to_seconds(rtt_standing_.best() - min_rtt_filter_.best());
     double cwnd_pkts = static_cast<double>(cwnd_) / static_cast<double>(params_.mss);
     double current_rate = cwnd_pkts / to_seconds(rtt_standing_.best());
     double target_rate = dq > 1e-6 ? 1.0 / (params_.delta * dq)
@@ -50,9 +64,14 @@ class Copa final : public CongestionControl {
   }
 
   void on_loss(const LossEvent& loss) override {
-    // Copa's default mode reacts to loss only mildly (it is delay-driven);
-    // on timeout collapse as a safety valve.
-    if (loss.from_timeout && epoch_.should_react(loss.seq)) {
+    // Copa is delay-driven, but a droptail storm destroys the delay signal:
+    // with the queue pinned full, dq reads ~0 for every survivor and pure
+    // delay control grows without bound while ~90% of packets drop (the
+    // competitive-mode situation of the Copa paper, Sec. 2.4). React to loss
+    // at most once per window — multiplicative decrease, like the paper's
+    // mode-switched Copa — so the queue drains periodically; those drains are
+    // also what lets the windowed min-RTT filter re-sample the true floor.
+    if (epoch_.should_react(loss.seq)) {
       cwnd_ = std::max<std::int64_t>(cwnd_ / 2, 2 * params_.mss);
       velocity_ = 1.0;
     }
@@ -81,6 +100,7 @@ class Copa final : public CongestionControl {
   CopaParams params_;
   std::int64_t cwnd_;
   WindowedMin<SimDuration> rtt_standing_;
+  WindowedMin<SimDuration> min_rtt_filter_;
   double velocity_ = 1.0;
   bool last_direction_ = true;
   SimTime direction_since_ = 0;

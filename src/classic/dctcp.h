@@ -1,0 +1,114 @@
+// DCTCP (Alizadeh et al., SIGCOMM 2010): datacenter TCP that reacts to the
+// *fraction* of CE-marked packets per window instead of treating any mark as
+// a full congestion event. The switch marks arriving packets once the
+// instantaneous queue exceeds K (see LinkConfig::ecn_threshold_bytes); the
+// sender maintains alpha, an EWMA of the per-window CE fraction with gain
+// g = 1/16, and cuts cwnd *= 1 - alpha/2 at most once per window of data.
+// Mild persistent marking therefore costs a few percent of window, while
+// sustained heavy marking converges to the classic halving — which is what
+// lets DCTCP hold datacenter queues near K at full throughput.
+#pragma once
+
+#include <algorithm>
+
+#include "classic/loss_epoch.h"
+#include "sim/congestion_control.h"
+
+namespace libra {
+
+struct DctcpParams {
+  std::int64_t mss = kDefaultPacketBytes;
+  /// EWMA gain for alpha (the paper and the kernel both use 1/16).
+  double g = 1.0 / 16.0;
+  /// Initial alpha. The kernel initializes to 1 so the very first CE mark —
+  /// including one arriving in slow start — costs a full halving until real
+  /// per-window fractions take over.
+  double initial_alpha = 1.0;
+};
+
+class Dctcp final : public CongestionControl {
+ public:
+  explicit Dctcp(DctcpParams params = {})
+      : params_(params),
+        cwnd_(10 * params.mss),
+        ssthresh_(kInfiniteCwnd),
+        alpha_(params.initial_alpha) {}
+
+  void on_packet_sent(const SendEvent& ev) override {
+    last_sent_seq_ = ev.seq;
+    loss_epoch_.on_sent(ev.seq);
+    ce_epoch_.on_sent(ev.seq);
+  }
+
+  void on_ack(const AckEvent& ack) override {
+    // Per-window CE accounting: one observation window is one round of the
+    // flow's own data (seq-based round detection, as in BBR), matching the
+    // paper's "once for every window of data" alpha update.
+    ++window_acked_;
+    if (ack.ecn_ce) ++window_ce_;
+    if (ack.seq >= next_window_seq_) {
+      const double frac = window_acked_ > 0
+                              ? static_cast<double>(window_ce_) /
+                                    static_cast<double>(window_acked_)
+                              : 0.0;
+      alpha_ += params_.g * (frac - alpha_);
+      window_acked_ = 0;
+      window_ce_ = 0;
+      next_window_seq_ = last_sent_seq_ + 1;
+    }
+
+    // ECN reaction, at most once per window (the CE epoch tracker is the
+    // same once-per-flight gate the loss path uses): cwnd *= 1 - alpha/2.
+    // In slow start this is also the exit — ssthresh drops to the reduced
+    // window, so growth continues additively from there.
+    if (ack.ecn_ce && ce_epoch_.should_react(ack.seq)) {
+      const auto reduced = static_cast<std::int64_t>(
+          static_cast<double>(cwnd_) * (1.0 - alpha_ / 2.0));
+      cwnd_ = std::max<std::int64_t>(reduced, 2 * params_.mss);
+      ssthresh_ = cwnd_;
+      return;
+    }
+
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += params_.mss;  // slow start: one MSS per ACK
+    } else {
+      cwnd_ += params_.mss * params_.mss / cwnd_;  // one MSS per RTT
+    }
+  }
+
+  void on_loss(const LossEvent& loss) override {
+    // Loss still means loss: DCTCP falls back to standard TCP behaviour
+    // (the alpha machinery only softens ECN-signalled congestion).
+    if (!loss_epoch_.should_react(loss.seq)) return;
+    ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, 2 * params_.mss);
+    cwnd_ = loss.from_timeout ? params_.mss : ssthresh_;
+  }
+
+  RateBps pacing_rate() const override { return 0; }
+  std::int64_t cwnd_bytes() const override { return cwnd_; }
+  std::string name() const override { return "dctcp"; }
+  // Pure ACK/loss clocking: nothing to do on the periodic timer, so the
+  // fleet engine may skip this flow's tick scan entirely.
+  bool wants_tick() const override { return false; }
+
+  /// Current CE-fraction estimate (tests assert convergence under a fixed
+  /// marking pattern).
+  double alpha() const { return alpha_; }
+
+ private:
+  DctcpParams params_;
+  std::int64_t cwnd_;
+  std::int64_t ssthresh_;
+  double alpha_;
+
+  // Alpha observation window (one round of the flow's own data).
+  std::uint64_t last_sent_seq_ = 0;
+  std::uint64_t next_window_seq_ = 0;
+  std::int64_t window_acked_ = 0;
+  std::int64_t window_ce_ = 0;
+
+  LossEpochTracker loss_epoch_;
+  LossEpochTracker ce_epoch_;
+};
+
+}  // namespace libra

@@ -102,6 +102,12 @@ std::vector<FleetLink> fleet_links(const FleetSpec& spec) {
     link.rate = mbps(spec.hop_rate_mbps);
     link.buffer_bytes = spec.buffer_bytes;
     link.to_next_delay = spec.hop_delay;
+    link.ecn_threshold_bytes = spec.ecn_threshold_bytes;
+    link.policer_rate = spec.policer_rate_mbps > 0 ? mbps(spec.policer_rate_mbps) : 0;
+    link.policer_burst_bytes = spec.policer_burst_bytes;
+    link.policer_marks = spec.policer_marks;
+    link.policer_start = spec.policer_start;
+    link.policer_stop = spec.policer_stop;
   }
   return links;
 }
@@ -117,6 +123,7 @@ FleetOptions fleet_options(const FleetSpec& spec, std::uint64_t seed,
   opts.warmup = spec.warmup;
   opts.seed = seed;
   opts.sender.tick_interval = run.tick_interval;
+  opts.sender.ecn_capable = spec.ecn_threshold_bytes > 0 || spec.policer_marks;
   opts.soa_scan = run.soa_scan;
   return opts;
 }

@@ -66,6 +66,17 @@ struct FleetSpec {
   /// Shards dedicated to senders (FleetOptions::sender_shards).
   int sender_shards = 0;
   FleetChurnSpec churn;
+
+  /// Datacenter & policed-path knobs (see sim/link.h for semantics). An
+  /// ecn_threshold > 0 also makes every sender ECN-capable, so the marks
+  /// actually reach the CCAs; the policer applies to every hop of the chain
+  /// (the canonical policed specs are single-bottleneck anyway).
+  std::int64_t ecn_threshold_bytes = 0;
+  double policer_rate_mbps = 0;
+  std::int64_t policer_burst_bytes = 30 * 1000;
+  bool policer_marks = false;
+  SimTime policer_start = 0;
+  SimTime policer_stop = kSimTimeMax;
 };
 
 /// One planned flow: everything FleetNetwork::add_flow needs except the CCA.

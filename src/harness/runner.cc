@@ -28,7 +28,10 @@ std::unique_ptr<Network> run_scenario(const Scenario& scenario,
   }
   if (obs.telemetry.enabled) net->telemetry().enable(obs.telemetry.config);
   for (const FlowSpec& spec : flows) {
-    net->add_flow(spec.make_cca(), spec.start, spec.stop, spec.extra_ack_delay);
+    SenderConfig base;
+    base.ecn_capable = scenario.ecn_enabled();
+    net->add_flow(spec.make_cca(), spec.start, spec.stop, spec.extra_ack_delay,
+                  base);
   }
   net->run_until(scenario.duration);
   net->finalize_metrics();

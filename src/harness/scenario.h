@@ -28,6 +28,18 @@ struct Scenario {
   /// Nominal mean capacity (for reporting normalization).
   RateBps nominal_rate = 0;
 
+  /// Datacenter & policed-path knobs (see sim/link.h for semantics). An
+  /// ecn_threshold > 0 marks the scenario ECN-enabled; run_scenario stamps
+  /// every flow's packets ECT so the marks reach the CCAs.
+  std::int64_t ecn_threshold_bytes = 0;
+  RateBps policer_rate = 0;
+  std::int64_t policer_burst_bytes = 30 * 1000;
+  bool policer_marks = false;
+  SimTime policer_start = 0;
+  SimTime policer_stop = kSimTimeMax;
+
+  bool ecn_enabled() const { return ecn_threshold_bytes > 0 || policer_marks; }
+
   LinkConfig link_config(std::uint64_t seed) const {
     LinkConfig cfg;
     cfg.capacity = make_trace(seed);
@@ -35,6 +47,12 @@ struct Scenario {
     cfg.propagation_delay = min_rtt / 2;  // other half is the ACK path
     cfg.stochastic_loss = stochastic_loss;
     cfg.seed = seed ^ 0xABCDEF;
+    cfg.ecn_threshold_bytes = ecn_threshold_bytes;
+    cfg.policer_rate = policer_rate;
+    cfg.policer_burst_bytes = policer_burst_bytes;
+    cfg.policer_marks = policer_marks;
+    cfg.policer_start = policer_start;
+    cfg.policer_stop = policer_stop;
     return cfg;
   }
 };
@@ -68,5 +86,18 @@ Scenario wan_intra_continental();
 /// and 5G-like (abrupt large capacity fluctuation).
 Scenario satellite_scenario();
 Scenario fiveg_scenario();
+
+/// Datacenter path: fast wired bottleneck, short RTT, ECN step marking at
+/// `ecn_threshold_bytes` (DCTCP's switch model). Pair with the dctcp CCA.
+Scenario datacenter_ecn_scenario(double rate_mbps = 960,
+                                 SimDuration min_rtt = msec(2),
+                                 std::int64_t ecn_threshold_bytes = 45 * 1000);
+
+/// Adversarial WAN path: the access link is fast but an ISP token-bucket
+/// policer caps the flow at `policer_rate_mbps` from `policer_start` on —
+/// the BBR lt_bw detection scenario.
+Scenario policed_wan_scenario(double rate_mbps = 40, double policer_rate_mbps = 10,
+                              std::int64_t burst_bytes = 30 * 1000,
+                              SimTime policer_start = 0);
 
 }  // namespace libra

@@ -7,6 +7,7 @@
 #include "classic/compound.h"
 #include "classic/copa.h"
 #include "classic/cubic.h"
+#include "classic/dctcp.h"
 #include "classic/illinois.h"
 #include "classic/newreno.h"
 #include "classic/sprout_ewma.h"
@@ -28,9 +29,9 @@ CcaZoo::CcaZoo(ZooConfig config) : config_(std::move(config)) {}
 
 std::vector<std::string> CcaZoo::all_names() {
   return {"cubic",   "bbr",     "newreno",  "vegas",       "westwood",
-          "illinois", "copa",  "compound", "sprout", "vivace", "proteus",
-          "remy",    "indigo",  "aurora",   "orca",        "modified-rl",
-          "libra-rl", "c-libra", "b-libra", "cl-libra"};
+          "illinois", "copa",  "compound", "dctcp", "sprout", "vivace",
+          "proteus", "remy",    "indigo",  "aurora",   "orca",
+          "modified-rl", "libra-rl", "c-libra", "b-libra", "cl-libra"};
 }
 
 std::shared_ptr<RlBrain> CcaZoo::brain(const std::string& family) {
@@ -149,6 +150,7 @@ CcaFactory CcaZoo::factory(const std::string& name) {
   if (name == "illinois") return [] { return std::make_unique<Illinois>(); };
   if (name == "copa") return [] { return std::make_unique<Copa>(); };
   if (name == "compound") return [] { return std::make_unique<CompoundTcp>(); };
+  if (name == "dctcp") return [] { return std::make_unique<Dctcp>(); };
   if (name == "sprout") return [] { return std::make_unique<SproutEwma>(); };
   if (name == "vivace") return [] { return std::make_unique<Vivace>(); };
   if (name == "proteus") return [] { return make_proteus(); };

@@ -47,9 +47,9 @@ class CcaZoo {
  public:
   explicit CcaZoo(ZooConfig config = {});
 
-  /// Names: cubic bbr newreno vegas westwood illinois copa sprout vivace
-  /// proteus remy indigo aurora orca modified-rl libra-rl c-libra b-libra
-  /// cl-libra. Throws std::out_of_range on unknown names.
+  /// Names: cubic bbr newreno vegas westwood illinois copa compound dctcp
+  /// sprout vivace proteus remy indigo aurora orca modified-rl libra-rl
+  /// c-libra b-libra cl-libra. Throws std::out_of_range on unknown names.
   CcaFactory factory(const std::string& name);
 
   static std::vector<std::string> all_names();

@@ -13,6 +13,7 @@ const char* drop_reason_name(double reason) {
     case static_cast<int>(DropReason::kOverflow): return "overflow";
     case static_cast<int>(DropReason::kWire): return "wire";
     case static_cast<int>(DropReason::kCodel): return "codel";
+    case static_cast<int>(DropReason::kPolicer): return "policer";
     default: return "unknown";
   }
 }
@@ -117,6 +118,8 @@ const char* FlightRecorder::kind_name(TraceKind kind) {
     case TraceKind::kCycle: return "cycle";
     case TraceKind::kCca: return "cca";
     case TraceKind::kRun: return "run";
+    case TraceKind::kEcn: return "ecn";
+    case TraceKind::kPolicer: return "policer";
   }
   return "unknown";
 }
@@ -190,6 +193,17 @@ void FlightRecorder::append_jsonl(const TraceEvent& ev, std::string& out) {
       w.key("wall_s").value(ev.a);
       w.key("sim_s").value(ev.b);
       w.key("speedup").value(ev.c);
+      break;
+    case TraceKind::kEcn:
+      w.key("seq").value(ev.seq);
+      w.key("bytes").value(ev.a);
+      w.key("qbytes").value(ev.b);
+      break;
+    case TraceKind::kPolicer:
+      w.key("seq").value(ev.seq);
+      w.key("bytes").value(ev.a);
+      w.key("tokens").value(ev.b);
+      w.key("marked").value(ev.c != 0);
       break;
   }
   w.end_object();

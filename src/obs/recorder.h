@@ -40,9 +40,11 @@ enum class TraceKind : std::uint8_t {
   kCycle,         // Libra per-cycle result (utilities + winner)
   kCca,           // CCA-internal event (code is algorithm-specific)
   kRun,           // end-of-run metadata (wall/sim time, speed ratio)
+  kEcn,           // packet CE-marked by a queue instead of dropped
+  kPolicer,       // token-bucket policer action (drop or mark)
 };
 
-enum class DropReason : int { kOverflow = 0, kWire = 1, kCodel = 2 };
+enum class DropReason : int { kOverflow = 0, kWire = 1, kCodel = 2, kPolicer = 3 };
 
 /// Fixed-size POD trace record. `a`..`f` are kind-specific payload slots;
 /// the JSONL serializer maps them to named fields (see recorder.cc).
@@ -136,6 +138,25 @@ class FlightRecorder {
   void cca_event(SimTime t, int flow, int code, double v0 = 0, double v1 = 0) {
     if (!enabled_) return;
     push({t, flow, TraceKind::kCca, static_cast<std::uint64_t>(code), v0, v1});
+  }
+
+  /// A queue CE-marked this packet instead of dropping it (droptail
+  /// threshold marking or CoDel in mark mode).
+  void ecn_mark(SimTime t, int flow, std::uint64_t seq, std::int64_t bytes,
+                std::int64_t queue_bytes) {
+    if (!enabled_) return;
+    push({t, flow, TraceKind::kEcn, seq, static_cast<double>(bytes),
+          static_cast<double>(queue_bytes)});
+  }
+
+  /// Token-bucket policer decision on a non-conforming packet. `marked` is
+  /// true when the policer CE-marked instead of dropping; `tokens` is the
+  /// bucket level (bytes) at decision time, before any consumption.
+  void policer(SimTime t, int flow, std::uint64_t seq, std::int64_t bytes,
+               double tokens, bool marked) {
+    if (!enabled_) return;
+    push({t, flow, TraceKind::kPolicer, seq, static_cast<double>(bytes), tokens,
+          marked ? 1.0 : 0.0});
   }
 
   /// End-of-run metadata line: wall-clock seconds spent simulating vs

@@ -34,6 +34,12 @@ struct CodelConfig {
   SimDuration interval = msec(100);          // sliding window (~worst-case RTT)
   double stochastic_loss = 0.0;
   std::uint64_t seed = 1;
+  /// RFC 8289 §4.1: when set, a control-law firing CE-marks an ECT head
+  /// packet (which is then forwarded) instead of dropping it. The dropping
+  /// state machine — count escalation, drop_next_ scheduling, re-entry
+  /// memory — is shared verbatim between the two modes; only the action
+  /// taken on a firing differs. Non-ECT packets are still dropped.
+  bool ecn_mark = false;
 };
 
 class CodelQueue {
@@ -80,6 +86,8 @@ class CodelQueue {
     return queue_.empty() ? 0 : now - queue_.front().enqueue_time;
   }
   std::int64_t codel_drops() const { return codel_drops_; }
+  /// Control-law firings resolved as CE marks (ecn_mark mode only).
+  std::int64_t codel_marks() const { return codel_marks_; }
   /// Current control-law count (observability for the RFC 8289 §4.2
   /// re-entry tests); 0 until the first dropping episode.
   std::int64_t codel_drop_count() const { return drop_count_; }
@@ -109,19 +117,29 @@ class CodelQueue {
       Packet pkt = queue_.front();
       queue_.pop_front();
       queue_bytes_ -= pkt.bytes;
-      if (!should_drop(pkt)) {
-        if (recorder_) recorder_->deliver(events_.now(), pkt.flow_id, pkt.seq,
-                                          pkt.bytes, queue_bytes_);
-        if (deliver_) {
-          events_.schedule_in(config_.propagation_delay,
-                              [this, pkt] { deliver_(pkt); });
-        }
-        break;
+      const bool fired = should_drop(pkt);
+      if (fired && config_.ecn_mark && pkt.ecn_capable) {
+        // Mark mode: the firing CE-marks the head, which is then forwarded.
+        // should_drop() already advanced count/drop_next_ exactly as it
+        // would for a drop, so the control-law schedule is mode-invariant.
+        pkt.ce_marked = true;
+        ++codel_marks_;
+        if (recorder_) recorder_->ecn_mark(events_.now(), pkt.flow_id, pkt.seq,
+                                           pkt.bytes, queue_bytes_);
+      } else if (fired) {
+        ++codel_drops_;
+        if (recorder_) recorder_->drop(events_.now(), pkt.flow_id, pkt.seq,
+                                       pkt.bytes, queue_bytes_, DropReason::kCodel);
+        if (drop_) drop_(pkt);
+        continue;
       }
-      ++codel_drops_;
-      if (recorder_) recorder_->drop(events_.now(), pkt.flow_id, pkt.seq,
-                                     pkt.bytes, queue_bytes_, DropReason::kCodel);
-      if (drop_) drop_(pkt);
+      if (recorder_) recorder_->deliver(events_.now(), pkt.flow_id, pkt.seq,
+                                        pkt.bytes, queue_bytes_);
+      if (deliver_) {
+        events_.schedule_in(config_.propagation_delay,
+                            [this, pkt] { deliver_(pkt); });
+      }
+      break;
     }
     schedule_dequeue();
   }
@@ -191,6 +209,7 @@ class CodelQueue {
   std::int64_t drop_count_ = 0;
   std::int64_t last_count_ = 0;  // count at the last dropping-state entry
   std::int64_t codel_drops_ = 0;
+  std::int64_t codel_marks_ = 0;
 };
 
 }  // namespace libra

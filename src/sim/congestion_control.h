@@ -24,6 +24,9 @@ struct AckEvent {
   /// BBR-style delivery rate sample (bits/s); 0 when not yet measurable.
   RateBps delivery_rate = 0;
   SimDuration min_rtt = 0;           // sender's lifetime minimum
+  /// ECN echo: the acked packet came back CE-marked (a queue marked it
+  /// instead of dropping). Always false for non-ECN-capable flows.
+  bool ecn_ce = false;
 };
 
 /// Feedback delivered once per packet deemed lost.

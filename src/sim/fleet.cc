@@ -55,6 +55,12 @@ FleetNetwork::FleetNetwork(std::vector<FleetLink> hops, FleetOptions options)
     // on_hop_deliver); the link itself delivers at serialization end.
     cfg.propagation_delay = 0;
     cfg.stochastic_loss = hop_specs_[h].stochastic_loss;
+    cfg.ecn_threshold_bytes = hop_specs_[h].ecn_threshold_bytes;
+    cfg.policer_rate = hop_specs_[h].policer_rate;
+    cfg.policer_burst_bytes = hop_specs_[h].policer_burst_bytes;
+    cfg.policer_marks = hop_specs_[h].policer_marks;
+    cfg.policer_start = hop_specs_[h].policer_start;
+    cfg.policer_stop = hop_specs_[h].policer_stop;
     cfg.seed = opts_.seed ^ (0xF1EE7u + 0x9E3779B9u * static_cast<std::uint64_t>(h));
     auto link = std::make_unique<DropTailLink>(*shards_[h].queue, std::move(cfg));
     const int hop = static_cast<int>(h);

@@ -72,6 +72,16 @@ struct FleetLink {
   /// the sharded engine's lookahead; must be > 0 for sharded topologies.
   SimDuration to_next_delay = msec(5);
   double stochastic_loss = 0.0;
+  /// ECN marking threshold and ingress token-bucket policer, passed straight
+  /// through to LinkConfig (see sim/link.h for semantics). All processing
+  /// happens on the hop's owning shard, so the serial==sharded bitwise
+  /// identity contract holds for every marking/policing combination.
+  std::int64_t ecn_threshold_bytes = 0;
+  RateBps policer_rate = 0;
+  std::int64_t policer_burst_bytes = 30 * 1000;
+  bool policer_marks = false;
+  SimTime policer_start = 0;
+  SimTime policer_stop = kSimTimeMax;
 };
 
 struct FleetOptions {

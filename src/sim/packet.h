@@ -18,6 +18,13 @@ struct Packet {
   // sender's delivered counter when this packet left.
   std::int64_t delivered_at_send = 0;
   SimTime delivered_time_at_send = 0;
+
+  // Explicit congestion notification (RFC 3168 wire contract, collapsed to
+  // two bits): the sender stamps ecn_capable (ECT); an ECN-enabled queue sets
+  // ce_marked (CE) instead of dropping. The receiver echoes CE on the ACK —
+  // the ACK carries this packet back, so no separate echo field is needed.
+  bool ecn_capable = false;
+  bool ce_marked = false;
 };
 
 }  // namespace libra

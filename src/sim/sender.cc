@@ -161,6 +161,7 @@ void Sender::transmit_one() {
   pkt.sent_time = now;
   pkt.delivered_at_send = delivered_bytes_;
   pkt.delivered_time_at_send = delivered_time_ > 0 ? delivered_time_ : now;
+  pkt.ecn_capable = config_.ecn_capable;
 
   outstanding_.push(pkt.seq, {now, pkt.bytes, pkt.delivered_at_send,
                               pkt.delivered_time_at_send});
@@ -221,6 +222,10 @@ void Sender::on_ack_packet(const Packet& pkt) {
 
   AckEvent ev{now, pkt.seq, info.sent_time, rtt, info.bytes,
               bytes_in_flight_, delivery_rate, min_rtt_};
+  // The ACK carries the delivered packet back, so the CE echo is simply the
+  // packet's own mark (receiver echo with zero additional state).
+  ev.ecn_ce = pkt.ce_marked;
+  if (ev.ecn_ce) ++packets_ce_;
   cca_->on_ack(ev);
   if (ack_observer) ack_observer(ev);
   if (recorder_) {

@@ -41,6 +41,9 @@ struct SenderConfig {
   /// Fleet-engine mode: the owner drives run_tick() from its shard scan
   /// instead of this sender scheduling its own periodic timer event.
   bool external_tick = false;
+  /// Stamp outgoing packets ECT so ECN-enabled queues mark them (CE) instead
+  /// of dropping; CE comes back on the ACK as AckEvent::ecn_ce.
+  bool ecn_capable = false;
 };
 
 class Sender {
@@ -109,6 +112,8 @@ class Sender {
   std::int64_t packets_sent() const { return packets_sent_; }
   std::int64_t packets_acked() const { return packets_acked_; }
   std::int64_t packets_lost() const { return packets_lost_; }
+  /// ACKs that carried a CE echo (0 for non-ECN flows).
+  std::int64_t packets_ce() const { return packets_ce_; }
   SimDuration smoothed_rtt() const { return srtt_; }
   SimDuration min_rtt() const { return min_rtt_; }
   const SenderConfig& config() const { return config_; }
@@ -252,6 +257,7 @@ class Sender {
   std::int64_t packets_sent_ = 0;
   std::int64_t packets_acked_ = 0;
   std::int64_t packets_lost_ = 0;
+  std::int64_t packets_ce_ = 0;
 };
 
 }  // namespace libra

@@ -1,6 +1,9 @@
 // Tests for the CoDel AQM queue and the Compound TCP combined baseline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "classic/compound.h"
 #include "classic/cubic.h"
 #include "sim/codel_network.h"
@@ -55,6 +58,95 @@ TEST(Codel, DropsWhenSojournPersistsAboveTarget) {
   }
   q.run_until(sec(10));
   EXPECT_GT(link.codel_drops(), 0);
+}
+
+TEST(Codel, MarkModeKeepsTheDropStateScheduleIdentical) {
+  // RFC 8289 §4.1: with ECN, a control-law firing CE-marks the head instead
+  // of dropping it, but the dropping-state machine (count escalation,
+  // drop_next_ cadence, re-entry memory) must be untouched. Drive two queues
+  // — one per mode — with the same deterministic arrival pattern and compare
+  // the exact firing instants while both stay deeply backlogged. 750 packets
+  // at 6 Mbps into 2 Mbps keeps the escalated cadence (interval/sqrt(count))
+  // well above the 6 ms serialization slot, so a firing always resolves at
+  // the same dequeue instant in both modes.
+  constexpr int kPackets = 750;
+  constexpr SimTime kLoadEnd = msec(2) * kPackets;
+  auto cfg = [] {
+    CodelConfig c = codel_link(mbps(2));
+    c.buffer_bytes = 2'000'000;  // never overflow: all drops are CoDel's
+    return c;
+  };
+
+  EventQueue qd;
+  CodelQueue drop_mode(qd, cfg());
+  std::vector<SimTime> drop_times;
+  drop_mode.set_deliver([](const Packet&) {});
+  drop_mode.set_drop([&](const Packet&) { drop_times.push_back(qd.now()); });
+
+  EventQueue qm;
+  CodelConfig mark_cfg = cfg();
+  mark_cfg.ecn_mark = true;
+  CodelQueue mark_mode(qm, mark_cfg);
+  std::vector<SimTime> mark_times;
+  // A marked delivery left the queue exactly propagation_delay earlier.
+  mark_mode.set_deliver([&](const Packet& p) {
+    if (p.ce_marked) mark_times.push_back(qm.now() - mark_cfg.propagation_delay);
+  });
+  mark_mode.set_drop([](const Packet&) { FAIL() << "ECT packet dropped in mark mode"; });
+
+  for (int i = 0; i < kPackets; ++i) {
+    Packet p;
+    p.seq = static_cast<std::uint64_t>(i);
+    p.ecn_capable = true;
+    qd.run_until(msec(2) * i);
+    drop_mode.send(p);
+    qm.run_until(msec(2) * i);
+    mark_mode.send(p);
+  }
+  qd.run_until(sec(10));
+  qm.run_until(sec(10));
+
+  ASSERT_GT(drop_times.size(), 10u);
+  EXPECT_EQ(mark_mode.codel_drops(), 0);
+  EXPECT_EQ(static_cast<std::size_t>(mark_mode.codel_marks()),
+            mark_times.size());
+  // Compare the schedules over the loaded phase, where both queues are
+  // backlogged identically. (Past it the drop-mode queue, thinned by its own
+  // drops, drains earlier and the trajectories legitimately diverge.)
+  auto clip = [](std::vector<SimTime> v, SimTime end) {
+    v.erase(std::find_if(v.begin(), v.end(),
+                         [end](SimTime t) { return t >= end; }),
+            v.end());
+    return v;
+  };
+  const std::vector<SimTime> drops = clip(drop_times, kLoadEnd);
+  const std::vector<SimTime> marks = clip(mark_times, kLoadEnd);
+  ASSERT_GT(drops.size(), 10u);
+  EXPECT_EQ(drops, marks)
+      << "mark mode changed the control-law firing schedule";
+}
+
+TEST(Codel, NonEctPacketsStillDropInMarkMode) {
+  // §4.1 marks only ECT traffic: a non-ECT packet hitting a firing drops
+  // exactly as in drop mode.
+  EventQueue q;
+  CodelConfig cfg = codel_link(mbps(2));
+  cfg.ecn_mark = true;
+  CodelQueue link(q, cfg);
+  int dropped = 0;
+  link.set_deliver([](const Packet&) {});
+  link.set_drop([&](const Packet&) { ++dropped; });
+  for (int i = 0; i < 400; ++i) {
+    Packet p;
+    p.seq = static_cast<std::uint64_t>(i);
+    // ecn_capable left false
+    q.run_until(msec(2) * i);
+    link.send(p);
+  }
+  q.run_until(sec(10));
+  EXPECT_GT(link.codel_drops(), 0);
+  EXPECT_EQ(link.codel_marks(), 0);
+  EXPECT_EQ(dropped, link.codel_drops());
 }
 
 TEST(Codel, ReentryAfterLongGapRestartsCount) {

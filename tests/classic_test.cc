@@ -5,6 +5,7 @@
 #include "classic/bbr.h"
 #include "classic/copa.h"
 #include "classic/cubic.h"
+#include "classic/dctcp.h"
 #include "classic/illinois.h"
 #include "classic/newreno.h"
 #include "classic/sprout_ewma.h"
@@ -297,6 +298,69 @@ TEST(Bbr, IgnoresIndividualLosses) {
   EXPECT_DOUBLE_EQ(bbr.pacing_rate(), before);
 }
 
+// Runs one policed "round" against a Bbr: a flight of `n` packets at time t,
+// half delivered at `delivery`, half lost — the steady signature of a
+// token-bucket policer (loss fraction 0.5 >= lt_loss_thresh).
+void policed_round(Bbr& bbr, std::uint64_t& seq, SimTime t, RateBps delivery) {
+  const std::uint64_t base = seq;
+  for (int i = 0; i < 10; ++i) bbr.on_packet_sent({t, seq++, kMss, 10 * kMss});
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t s = base + static_cast<std::uint64_t>(i);
+    if (i % 2 == 1) {
+      bbr.on_loss(loss_at(t + msec(20), s));
+    } else {
+      bbr.on_ack(ack_at(t + msec(20), s, msec(20), msec(20), delivery));
+    }
+  }
+}
+
+TEST(Bbr, LtBwEngagesWithinTwoIntervalsOfPolicerOnset) {
+  // Two agreeing 4-round intervals is the minimum evidence the long-term
+  // estimator needs, so it must pin within 8-9 rounds of the first loss.
+  Bbr bbr;
+  std::uint64_t seq = 0;
+  SimTime t = 0;
+  int rounds_to_engage = -1;
+  for (int round = 0; round < 12; ++round) {
+    policed_round(bbr, seq, t, mbps(10));
+    t += msec(20);
+    if (bbr.lt_use_bw()) {
+      rounds_to_engage = round + 1;
+      break;
+    }
+  }
+  ASSERT_GT(rounds_to_engage, 0) << "lt_bw never engaged";
+  EXPECT_LE(rounds_to_engage, 9);
+  // Pinned: pacing is exactly lt_bw, the gain cycle is bypassed. The rate is
+  // the *delivered goodput* (5 x 1500 B per 20 ms = 3 Mbps), not the probe.
+  EXPECT_NEAR(bbr.lt_bw(), mbps(3), mbps(0.5));
+  EXPECT_DOUBLE_EQ(bbr.pacing_rate(), static_cast<double>(bbr.lt_bw()));
+}
+
+TEST(Bbr, LtBwExpiresAndReprobesAfterMaxRtts) {
+  Bbr bbr;
+  std::uint64_t seq = 0;
+  SimTime t = 0;
+  for (int round = 0; round < 12 && !bbr.lt_use_bw(); ++round) {
+    policed_round(bbr, seq, t, mbps(10));
+    t += msec(20);
+  }
+  ASSERT_TRUE(bbr.lt_use_bw());
+  ASSERT_EQ(bbr.mode(), Bbr::Mode::kProbeBw);
+  // Clean rounds from here: after lt_bw_max_rtts round starts the model must
+  // forget the policer and resume probing with the gain cycle.
+  for (int round = 0; round < BbrParams{}.lt_bw_max_rtts + 2; ++round) {
+    const std::uint64_t base = seq;
+    for (int i = 0; i < 10; ++i)
+      bbr.on_packet_sent({t, seq++, kMss, 10 * kMss});
+    for (int i = 0; i < 10; ++i)
+      bbr.on_ack(ack_at(t + msec(20), base + static_cast<std::uint64_t>(i),
+                        msec(20), msec(20), mbps(10)));
+    t += msec(20);
+  }
+  EXPECT_FALSE(bbr.lt_use_bw());
+}
+
 TEST(Vegas, HoldsWindowInsideAlphaBetaBand) {
   Vegas cc;
   // Feed RTT = min RTT (empty queue) and let slow start run: window grows.
@@ -357,6 +421,79 @@ TEST(Illinois, AlphaShrinksWithDelay) {
   EXPECT_GT(gain_low, gain_high);
 }
 
+TEST(Dctcp, AlphaConvergesToCeFraction) {
+  // Fixed marking pattern: 3 of every 10 ACKs carry CE. The per-window EWMA
+  // (g = 1/16) must converge from its kernel-style initial 1.0 to the true
+  // CE fraction.
+  Dctcp cc;
+  EXPECT_DOUBLE_EQ(cc.alpha(), 1.0);
+  SimTime t = 0;
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 200; ++round) {
+    const std::uint64_t base = seq;
+    for (int i = 0; i < 10; ++i) cc.on_packet_sent({t, seq++, kMss, 0});
+    for (int i = 0; i < 10; ++i) {
+      AckEvent a = ack_at(t + msec(10), base + static_cast<std::uint64_t>(i));
+      a.ecn_ce = i < 3;
+      cc.on_ack(a);
+    }
+    t += msec(20);
+  }
+  EXPECT_NEAR(cc.alpha(), 0.3, 0.02);
+
+  // The pattern goes clean: alpha must decay toward zero.
+  for (int round = 0; round < 200; ++round) {
+    const std::uint64_t base = seq;
+    for (int i = 0; i < 10; ++i) cc.on_packet_sent({t, seq++, kMss, 0});
+    for (int i = 0; i < 10; ++i)
+      cc.on_ack(ack_at(t + msec(10), base + static_cast<std::uint64_t>(i)));
+    t += msec(20);
+  }
+  EXPECT_LT(cc.alpha(), 0.01);
+}
+
+TEST(Dctcp, CeReactionAtMostOncePerWindow) {
+  Dctcp cc;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 10; ++i) cc.on_packet_sent({0, seq++, kMss, 0});
+  const std::int64_t before = cc.cwnd_bytes();
+  AckEvent a = ack_at(msec(10), 0);
+  a.ecn_ce = true;
+  cc.on_ack(a);
+  // alpha is still 1.0 on the first mark: the full classic halving.
+  EXPECT_EQ(cc.cwnd_bytes(), before / 2);
+  const std::int64_t after_first = cc.cwnd_bytes();
+  AckEvent b = ack_at(msec(11), 1);
+  b.ecn_ce = true;
+  cc.on_ack(b);
+  // Same flight: no second cut — just the normal sub-MSS avoidance growth.
+  EXPECT_GE(cc.cwnd_bytes(), after_first);
+  EXPECT_LT(cc.cwnd_bytes(), after_first + kMss);
+  // A CE mark on data from the next flight re-arms the reaction.
+  for (int i = 0; i < 5; ++i) cc.on_packet_sent({msec(12), seq++, kMss, 0});
+  const std::int64_t before2 = cc.cwnd_bytes();
+  AckEvent c = ack_at(msec(20), 10);
+  c.ecn_ce = true;
+  cc.on_ack(c);
+  EXPECT_LT(cc.cwnd_bytes(), before2);
+}
+
+TEST(Dctcp, LossStillMeansLoss) {
+  // The alpha machinery only softens ECN-signalled congestion; a real loss
+  // falls back to the classic halving (and slow-start exit).
+  Dctcp cc;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 20; ++i) {
+    cc.on_packet_sent({msec(i), seq, kMss, 0});
+    cc.on_ack(ack_at(msec(i) + msec(5), seq));
+    ++seq;
+  }
+  const std::int64_t grown = cc.cwnd_bytes();
+  cc.on_loss(loss_at(msec(40), seq - 1));
+  EXPECT_NEAR(static_cast<double>(cc.cwnd_bytes()),
+              static_cast<double>(grown) / 2.0, static_cast<double>(kMss));
+}
+
 TEST(Copa, GrowsOnEmptyQueue) {
   Copa cc;
   std::int64_t start = cc.cwnd_bytes();
@@ -371,7 +508,13 @@ TEST(Copa, ShrinksWhenAboveTarget) {
     cc.on_ack(ack_at(msec(20) * i, static_cast<std::uint64_t>(i)));
   std::int64_t grown = cc.cwnd_bytes();
   // Standing queue of 100 ms: target rate = 1/(0.5*0.1) = 20 pkts/s, tiny.
-  SimTime t = sec(60);
+  // Phase 2 follows phase 1 after a 200 ms pause: long enough that the
+  // standing-RTT filter (100 ms window) sees only the inflated RTT — so the
+  // first ACK flips the direction and resets phase 1's accumulated velocity
+  // — yet short enough that Copa's windowed min-RTT baseline (min_rtt_window,
+  // default 2 s) still holds the true 50 ms floor. After a longer idle gap
+  // the window would re-seed from the inflated RTT instead.
+  SimTime t = msec(20) * 60 + msec(200);
   for (int i = 0; i < 60; ++i) {
     cc.on_ack(ack_at(t, 200 + static_cast<std::uint64_t>(i), msec(150), msec(50)));
     t += msec(20);

@@ -5,11 +5,14 @@
 // across engine modes).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "classic/bbr.h"
 #include "classic/cubic.h"
+#include "classic/dctcp.h"
 #include "classic/newreno.h"
 #include "classic/vegas.h"
 #include "core/factory.h"
@@ -306,23 +309,60 @@ TEST(FleetFairness, HundredFlowIncastIsFairForEveryClassic) {
   }
 }
 
-TEST(FleetHealthRegression, MinRttCorruptionFiresOnCopaOnly) {
-  // The documented Copa 100-flow synchronized-incast collapse: the startup
-  // storm never lets the ~1 BDP droptail queue drain, late arrivals fold the
-  // standing queue into their lifetime min_rtt, their queue estimate
-  // dq = rtt_standing - min_rtt reads near zero, and the 1/(delta*dq) target
-  // rate locks them out. The detector must pin this exact signature —
-  // corrupted baseline AND goodput lockout — on Copa, and must stay silent
-  // for a loss-based (CUBIC) and a model-based (BBR) CCA in the same deep
-  // buffer, where every CCA's late flows inherit polluted baselines but keep
-  // their fair share.
-  struct Case {
-    const char* name;
-    bool expect_corruption;
-  };
-  const Case kCases[] = {{"copa", true}, {"cubic", false}, {"bbr", false}};
+TEST(FleetHealthRegression, MinRttCorruptionFiresOnSyntheticIncastCollapse) {
+  // The documented (pre-fix) Copa 100-flow synchronized-incast collapse: the
+  // startup storm never let the ~1 BDP droptail queue drain, late arrivals
+  // folded the standing queue into their lifetime min_rtt, their queue
+  // estimate dq = rtt_standing - min_rtt read near zero, and the 1/(delta*dq)
+  // target rate locked them out. Copa no longer reproduces this organically
+  // (its min-RTT baseline is windowed and it backs off under loss — see the
+  // fair-share regression below), so the detector is driven from a synthetic
+  // timeline replaying the recorded signature: 29 winners at the 1 ms path
+  // floor, 71 flows whose baseline absorbed the full 29 ms standing queue
+  // and whose goodput collapsed to ~0. The detector's threshold/lockout
+  // gates themselves stay covered by health_test.cc.
+  constexpr int kFlows = 100, kWindows = 60, kWinners = 29;
+  FleetTimeline tl;
+  tl.config = FleetStatsConfig{};  // 100 ms windows
+  tl.duration = static_cast<SimDuration>(kWindows) * tl.config.window;
+  tl.n_windows = kWindows;
+  tl.metas.assign(kFlows, FleetFlowMeta{});
+  tl.rows.assign(static_cast<std::size_t>(kFlows * kWindows), FlowWindowRow{});
+  for (int f = 0; f < kFlows; ++f) {
+    const bool winner = f < kWinners;
+    tl.metas[static_cast<std::size_t>(f)].min_rtt_us = winner ? 1'000 : 29'000;
+    for (int w = 0; w < kWindows; ++w) {
+      FlowWindowRow& row =
+          tl.rows[static_cast<std::size_t>(f * kWindows + w)];
+      // Winners split the link; losers trickle ~0.1% of a fair share.
+      row.acked_bytes = winner ? 200'000 : 60;
+      row.sent = winner ? 150 : 3;
+      row.lost = winner ? 10 : 2;
+      row.rtt_samples = winner ? 100 : 1;
+      row.rtt_sum_us = row.rtt_samples * 29'000;
+      row.rtt_min_us = winner ? 1'000 : 29'000;
+      row.rtt_p95_us = 29'000;
+    }
+  }
+  const HealthReport r = analyze_health(tl);
+  EXPECT_EQ(r.count(IncidentKind::kMinRttCorruption), kFlows - kWinners)
+      << "every locked-out flow with a corrupted baseline is an incident";
+  for (const Incident& inc : r.incidents) {
+    if (inc.kind != IncidentKind::kMinRttCorruption) continue;
+    EXPECT_GE(inc.flow, kWinners) << "winners at the path floor must not fire";
+  }
+}
+
+TEST(FleetHealthRegression, CopaHoldsFairShareOnTheIncastThatLockedItOut) {
+  // Regression for the fix itself: the exact 100-flow synchronized incast
+  // (480 Mbps, ~1 BDP shared droptail, seed 17) that used to lock 71 Copa
+  // flows out at <1% of fair share. With the windowed min-RTT baseline and
+  // the once-per-window loss backoff, every flow must now hold at least half
+  // its fair share, and the min_rtt_corruption detector must stay silent for
+  // Copa — as it always did for a loss-based (CUBIC) and a model-based (BBR)
+  // CCA in the same deep buffer.
   CcaZoo zoo;
-  for (const Case& c : kCases) {
+  for (const char* name : {"copa", "cubic", "bbr"}) {
     FleetSpec spec = incast_fleet(100, /*rate_mbps=*/480.0, msec(1));
     spec.buffer_bytes = 900 * 1000;  // ~1 BDP shared droptail
     spec.duration = sec(6);
@@ -330,14 +370,133 @@ TEST(FleetHealthRegression, MinRttCorruptionFiresOnCopaOnly) {
     FleetRunOptions run;
     run.health = true;
     FleetObsResult obs;
-    run_fleet(spec, zoo.factory(c.name), 17, run, &obs);
-    if (c.expect_corruption) {
-      EXPECT_GE(obs.health.count(IncidentKind::kMinRttCorruption), 1)
-          << c.name << ": the incast collapse signature went undetected";
-    } else {
-      EXPECT_EQ(obs.health.count(IncidentKind::kMinRttCorruption), 0)
-          << c.name << ": false positive on a CCA that keeps its fair share";
+    const FleetSummary s = run_fleet(spec, zoo.factory(name), 17, run, &obs);
+    EXPECT_EQ(obs.health.count(IncidentKind::kMinRttCorruption), 0)
+        << name << ": corrupted-baseline lockout on a CCA that keeps its share";
+    if (std::string(name) != "copa") continue;
+    const double fair = s.total_throughput_bps / 100.0;
+    double worst = s.flows[0].throughput_bps;
+    for (const auto& f : s.flows) worst = std::min(worst, f.throughput_bps);
+    EXPECT_GE(worst, 0.5 * fair)
+        << "a Copa flow fell below half its fair share (pre-fix: <1%)";
+  }
+}
+
+TEST(FleetDatacenter, DctcpHoldsQueueBelowDroptailAtEqualGoodput) {
+  // The DCTCP promise (Alizadeh et al., SIGCOMM 2010): with a shallow marking
+  // threshold the switch queue stays near K while goodput matches what a
+  // loss-driven CCA extracts from the same deep-buffered incast.
+  const std::int64_t kBuffer = 2 * 1000 * 1000;  // deep: droptail fills it
+  auto run = [kBuffer](std::int64_t ecn_bytes, auto make_cca,
+                       std::int64_t* max_queue) {
+    FleetSpec spec = incast_fleet(100, /*rate_mbps=*/960.0, msec(1));
+    spec.duration = sec(2);
+    spec.warmup = msec(500);
+    spec.buffer_bytes = kBuffer;
+    spec.ecn_threshold_bytes = ecn_bytes;
+    std::vector<FleetFlowPlan> plans = plan_fleet_flows(spec, 11);
+    FleetNetwork net(fleet_links(spec), fleet_options(spec, 11, {}));
+    for (const FleetFlowPlan& p : plans) {
+      FleetFlowDef def;
+      def.cca = make_cca();
+      def.start = p.start;
+      def.enter_hop = p.enter_hop;
+      def.exit_hop = p.exit_hop;
+      net.add_flow(std::move(def));
     }
+    net.run();
+    *max_queue = net.hop(0).max_queue_bytes();
+    return net.summarize();
+  };
+  std::int64_t dctcp_queue = 0;
+  std::int64_t droptail_queue = 0;
+  const FleetSummary dctcp =
+      run(45 * 1000, [] { return std::make_unique<Dctcp>(); }, &dctcp_queue);
+  const FleetSummary droptail =
+      run(0, [] { return std::make_unique<Cubic>(); }, &droptail_queue);
+  // Equal goodput: the marks must not cost throughput.
+  EXPECT_GE(dctcp.total_throughput_bps, 0.9 * droptail.total_throughput_bps);
+  // ... while the post-warmup queueing delay stays well below what CUBIC
+  // builds (measured: ~14 ms vs ~29 ms on 10 ms of propagation). The lifetime
+  // high-water mark only gets a strict bound: the synchronized slow-start
+  // storm overshoots before the first CE echoes arrive, so the transient —
+  // not the standing queue — dominates it for both CCAs, and CUBIC's is
+  // pinned at the full buffer.
+  EXPECT_LT(dctcp.avg_delay_ms, 0.6 * droptail.avg_delay_ms);
+  EXPECT_LT(dctcp_queue, droptail_queue);
+  EXPECT_GT(droptail_queue, kBuffer * 9 / 10)
+      << "baseline did not fill the buffer; the comparison is vacuous";
+}
+
+TEST(FleetIdentity, ShardedMatchesSerialForDctcpEcnIncast) {
+  // The CE mark is decided at the hop's owning shard and rides the delivered
+  // packet back through the ACK edge: a new cross-shard signal path that must
+  // not perturb bitwise identity.
+  FleetSpec spec = incast_fleet(24, /*rate_mbps=*/240.0, msec(1));
+  spec.duration = sec(2);
+  spec.warmup = msec(500);
+  spec.ecn_threshold_bytes = 45 * 1000;
+  auto dctcp = [](int) -> std::unique_ptr<CongestionControl> {
+    return std::make_unique<Dctcp>();
+  };
+  FleetRunOptions serial;
+  const FleetSummary base = run_fleet(spec, dctcp, 42, serial);
+  EXPECT_GT(base.total_throughput_bps, 0.0);
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    FleetRunOptions sharded;
+    sharded.mode = FleetMode::kSharded;
+    sharded.threads = threads;
+    const FleetSummary got = run_fleet(spec, dctcp, 42, sharded);
+    EXPECT_TRUE(deterministically_equal(base, got))
+        << "DCTCP/ECN incast diverged at threads=" << threads;
+  }
+}
+
+TEST(FleetIdentity, ShardedMatchesSerialForPolicedParkingLot) {
+  // Token-bucket state lives on the hop's owning shard; the active window
+  // opening and closing mid-run must tick identically in both engines.
+  FleetSpec spec = identity_spec();
+  spec.policer_rate_mbps = 12.0;
+  spec.policer_burst_bytes = 30 * 1000;
+  spec.policer_start = msec(500);
+  spec.policer_stop = sec(2);
+  auto mixed = [](int flow) -> std::unique_ptr<CongestionControl> {
+    if (flow % 2 == 0) return std::make_unique<Bbr>();
+    return std::make_unique<Cubic>();
+  };
+  FleetRunOptions serial;
+  const FleetSummary base = run_fleet(spec, mixed, 42, serial);
+  EXPECT_GT(base.total_throughput_bps, 0.0);
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    FleetRunOptions sharded;
+    sharded.mode = FleetMode::kSharded;
+    sharded.threads = threads;
+    const FleetSummary got = run_fleet(spec, mixed, 42, sharded);
+    EXPECT_TRUE(deterministically_equal(base, got))
+        << "policed parking lot diverged at threads=" << threads;
+  }
+}
+
+TEST(FleetIdentity, ShardedMatchesSerialForMarkingPolicer) {
+  // Marking (not dropping) policer: CE set at ingress instead of a drop, with
+  // ECN-capable senders throughout.
+  FleetSpec spec = identity_spec();
+  spec.policer_rate_mbps = 12.0;
+  spec.policer_marks = true;
+  auto mixed = [](int flow) -> std::unique_ptr<CongestionControl> {
+    if (flow % 2 == 0) return std::make_unique<Dctcp>();
+    return std::make_unique<Cubic>();
+  };
+  FleetRunOptions serial;
+  const FleetSummary base = run_fleet(spec, mixed, 42, serial);
+  EXPECT_GT(base.total_throughput_bps, 0.0);
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    FleetRunOptions sharded;
+    sharded.mode = FleetMode::kSharded;
+    sharded.threads = threads;
+    const FleetSummary got = run_fleet(spec, mixed, 42, sharded);
+    EXPECT_TRUE(deterministically_equal(base, got))
+        << "marking policer diverged at threads=" << threads;
   }
 }
 

@@ -3,6 +3,7 @@
 // reduced scale so the suite stays fast.
 #include <gtest/gtest.h>
 
+#include "classic/bbr.h"
 #include "classic/cubic.h"
 #include "core/factory.h"
 #include "harness/runner.h"
@@ -123,6 +124,42 @@ TEST(Integration, ExtensionProfilesRunEndToEnd) {
     RunSummary sum = run_single(s, tiny_c_libra_factory(), 3);
     EXPECT_GT(sum.total_throughput_bps, kbps(500)) << s.name;
   }
+}
+
+TEST(Integration, BbrPinsToPolicerRateAndRecoversWhenItLifts) {
+  // A 40 Mbps path gets a 10 Mbps token-bucket policer over [2 s, 4 s). BBR's
+  // long-term estimator must engage shortly after onset (two agreeing 4-RTT
+  // intervals at base RTT 20 ms, plus loss-detection latency), pin pacing to
+  // the policed rate, and let go after the policer lifts.
+  Scenario s = policed_wan_scenario(40.0, 10.0, 30 * 1000, sec(2));
+  s.policer_stop = sec(4);
+  s.duration = sec(8);
+  Network net(s.link_config(11));
+  net.add_flow(std::make_unique<Bbr>());
+  net.run_until(sec(2));
+  const Bbr& bbr = dynamic_cast<const Bbr&>(net.flow(0).sender().cca());
+  EXPECT_FALSE(bbr.lt_use_bw()) << "engaged before the policer started";
+  SimTime engaged_at = 0;
+  for (SimTime t = sec(2); t <= sec(2) + msec(500); t += msec(10)) {
+    net.run_until(t);
+    if (bbr.lt_use_bw()) {
+      engaged_at = t;
+      break;
+    }
+  }
+  ASSERT_GT(engaged_at, 0) << "lt_bw never engaged on the policed link";
+  // 8 RTTs of sampling (160 ms) + one RTT of loss-detection latency, rounded
+  // up to the 10 ms polling grid.
+  EXPECT_LE(engaged_at, sec(2) + msec(200));
+  EXPECT_NEAR(bbr.lt_bw(), mbps(10), mbps(3));
+  // Pinned means unit gain: pacing is exactly lt_bw, no probe excursions.
+  EXPECT_DOUBLE_EQ(bbr.pacing_rate(), static_cast<double>(bbr.lt_bw()));
+  // After the policer lifts at 4 s, the 48-round expiry plus one clean probe
+  // cycle must restore full-rate operation.
+  net.run_until(sec(8));
+  EXPECT_FALSE(bbr.lt_use_bw()) << "still pinned 4 s after the policer lifted";
+  double recovered = net.flow(0).throughput_in(sec(6), sec(8));
+  EXPECT_GT(recovered, mbps(20));
 }
 
 // The Fig. 17 shape: all three decision kinds occur in a dynamic scenario.

@@ -238,6 +238,138 @@ TEST(DropTailLink, TailDropsWhenFull) {
   EXPECT_EQ(link.delivered_bytes(), 3000);
 }
 
+TEST(DropTailLink, EcnMarksEctPacketsAboveThreshold) {
+  EventQueue q;
+  // K = 3000 bytes (2 packets): arrivals that find >= 2 packets queued are
+  // CE-marked; non-ECT packets pass unmarked regardless.
+  LinkConfig cfg = test_link(mbps(12), 100'000);
+  cfg.ecn_threshold_bytes = 3000;
+  DropTailLink link(q, cfg);
+  std::vector<bool> ce;
+  link.set_deliver([&](const Packet& p) { ce.push_back(p.ce_marked); });
+  for (int i = 0; i < 6; ++i) {
+    Packet p;
+    p.bytes = 1500;
+    p.seq = static_cast<std::uint64_t>(i);
+    p.ecn_capable = (i != 5);  // last packet is non-ECT
+    link.send(p);
+  }
+  q.run_until(sec(1));
+  ASSERT_EQ(ce.size(), 6u);
+  // Packets 0 and 1 saw a queue below K; 2-4 saw >= 3000 bytes queued and
+  // are marked; packet 5 also saw a full queue but is not ECT.
+  EXPECT_EQ(ce, (std::vector<bool>{false, false, true, true, true, false}));
+  EXPECT_EQ(link.ecn_marks(), 3);
+  EXPECT_EQ(link.drops_overflow(), 0);
+}
+
+TEST(DropTailLink, EcnDisabledNeverMarks) {
+  EventQueue q;
+  DropTailLink link(q, test_link(mbps(12), 100'000));  // threshold 0 = off
+  int marked = 0, delivered = 0;
+  link.set_deliver([&](const Packet& p) {
+    ++delivered;
+    if (p.ce_marked) ++marked;
+  });
+  for (int i = 0; i < 10; ++i) {
+    Packet p;
+    p.bytes = 1500;
+    p.ecn_capable = true;
+    link.send(p);
+  }
+  q.run_until(sec(1));
+  EXPECT_EQ(delivered, 10);
+  EXPECT_EQ(marked, 0);
+  EXPECT_EQ(link.ecn_marks(), 0);
+}
+
+TEST(DropTailLink, PolicerPassesBurstThenEnforcesRate) {
+  // Token-bucket conformance: a burst up to the bucket passes untouched,
+  // then a sustained overload is clipped to the token rate.
+  EventQueue q;
+  LinkConfig cfg = test_link(mbps(100), 10'000'000);
+  cfg.policer_rate = mbps(10);             // 1250 bytes/ms refill
+  cfg.policer_burst_bytes = 15'000;        // 10-packet bucket, starts full
+  DropTailLink link(q, cfg);
+  int delivered = 0;
+  link.set_deliver([&](const Packet&) { ++delivered; });
+  // Instantaneous burst of 20 packets: exactly the 10 in the bucket conform.
+  for (int i = 0; i < 20; ++i) {
+    Packet p;
+    p.bytes = 1500;
+    p.seq = static_cast<std::uint64_t>(i);
+    link.send(p);
+  }
+  EXPECT_EQ(link.drops_policer(), 10);
+  // Steady state: offer 2 packets/ms (24 Mbps) for one second. The bucket is
+  // empty, so conformance is the refill rate: 10 Mbps = 833.3 packets/s.
+  q.run_until(msec(1));
+  std::int64_t burst_drops = link.drops_policer();
+  for (int i = 0; i < 2000; ++i) {
+    Packet p;
+    p.bytes = 1500;
+    p.seq = static_cast<std::uint64_t>(100 + i);
+    link.send(p);
+    if (i % 2 == 1) q.run_until(q.now() + 1000);  // +1 ms every 2 packets
+  }
+  const std::int64_t steady_passed =
+      2000 - (link.drops_policer() - burst_drops);
+  // 10 Mbps over 1 s = 1.25 MB = 833 packets (±1 for bucket rounding).
+  EXPECT_NEAR(static_cast<double>(steady_passed), 833.0, 2.0);
+  q.run_until(sec(5));
+  EXPECT_EQ(delivered, 10 + static_cast<int>(steady_passed));
+}
+
+TEST(DropTailLink, PolicerMarksInsteadOfDroppingWhenConfigured) {
+  EventQueue q;
+  LinkConfig cfg = test_link(mbps(100), 10'000'000);
+  cfg.policer_rate = mbps(10);
+  cfg.policer_burst_bytes = 15'000;
+  cfg.policer_marks = true;
+  DropTailLink link(q, cfg);
+  int ce = 0, clean = 0;
+  link.set_deliver([&](const Packet& p) { p.ce_marked ? ++ce : ++clean; });
+  for (int i = 0; i < 20; ++i) {
+    Packet p;
+    p.bytes = 1500;
+    p.ecn_capable = true;
+    link.send(p);
+  }
+  q.run_until(sec(1));
+  // The 10 bucket-conformant packets pass clean; the rest are CE-marked and
+  // forwarded rather than dropped.
+  EXPECT_EQ(clean, 10);
+  EXPECT_EQ(ce, 10);
+  EXPECT_EQ(link.policer_marks(), 10);
+  EXPECT_EQ(link.drops_policer(), 0);
+}
+
+TEST(DropTailLink, PolicerActiveWindowGatesEnforcement) {
+  EventQueue q;
+  LinkConfig cfg = test_link(mbps(100), 10'000'000);
+  cfg.policer_rate = mbps(10);
+  cfg.policer_burst_bytes = 1500;  // 1-packet bucket: every burst is clipped
+  cfg.policer_start = msec(100);
+  cfg.policer_stop = msec(200);
+  DropTailLink link(q, cfg);
+  link.set_deliver([](const Packet&) {});
+  auto burst = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      Packet p;
+      p.bytes = 1500;
+      link.send(p);
+    }
+  };
+  burst(5);  // before the window: untouched
+  EXPECT_EQ(link.drops_policer(), 0);
+  q.run_until(msec(150));
+  burst(5);  // inside: 1 conforms (fresh bucket), 4 drop
+  EXPECT_EQ(link.drops_policer(), 4);
+  q.run_until(msec(250));
+  burst(5);  // after the window: untouched again
+  EXPECT_EQ(link.drops_policer(), 4);
+}
+
 TEST(DropTailLink, StochasticLossApproximatesRate) {
   EventQueue q;
   DropTailLink link(q, test_link(mbps(1000), 1 << 30, 0.2));

@@ -32,7 +32,9 @@
 #include <thread>
 #include <vector>
 
+#include "classic/bbr.h"
 #include "classic/cubic.h"
+#include "classic/dctcp.h"
 #include "harness/fleet_scenario.h"
 #include "harness/parallel.h"
 #include "harness/scenario.h"
@@ -314,6 +316,44 @@ double wl_fleet_incast_1000_naive_ms() {
   return s.wall_time_s * 1e3 / s.sim_time_s;
 }
 
+double wl_dctcp_incast_100_ns() {
+  // The datacenter shape: DCTCP on an ECN-marking incast fan-in. Relative to
+  // fleet_incast_100 this prices the marking check plus DCTCP's per-ACK CE
+  // accounting; the workload also keeps the ECN hot path exercised nightly.
+  FleetSpec spec = incast_fleet(100, 960.0, msec(1));
+  spec.duration = sec(1);
+  spec.warmup = msec(250);
+  spec.ecn_threshold_bytes = 45 * 1000;
+  std::vector<FleetFlowPlan> plans = plan_fleet_flows(spec, 11);
+  FleetNetwork net(fleet_links(spec), fleet_options(spec, 11, {}));
+  for (const FleetFlowPlan& p : plans) {
+    FleetFlowDef def;
+    def.cca = std::make_unique<Dctcp>();
+    def.start = p.start;
+    def.enter_hop = p.enter_hop;
+    def.exit_hop = p.exit_hop;
+    net.add_flow(std::move(def));
+  }
+  net.run();
+  FleetSummary s = net.summarize();
+  if (s.total_throughput_bps <= 0 || s.events_processed == 0) std::abort();
+  return s.wall_time_s * 1e9 / static_cast<double>(s.events_processed);
+}
+
+double wl_policed_bbr_ns() {
+  // BBR through a token-bucket policer: the adversarial-path shape. Exercises
+  // the policer admission check on every packet plus BBR's long-term
+  // bandwidth sampling (engaged, since the policer drops well over 20%).
+  Scenario s = policed_wan_scenario(40.0, 10.0);
+  LinkConfig cfg = s.link_config(11);
+  Network net(std::move(cfg));
+  net.add_flow(std::make_unique<Bbr>());
+  double t0 = now_s();
+  net.run_until(sec(2));
+  double elapsed = now_s() - t0;
+  return elapsed * 1e9 / static_cast<double>(net.events().processed());
+}
+
 struct MetricDef {
   const char* name;
   const char* unit;
@@ -343,6 +383,8 @@ constexpr MetricDef kMetrics[] = {
     {"fleet_incast_1000", "ns/event", 0.75, wl_fleet_incast_1000_ns},
     {"fleet_incast_1000_soa", "ms/simsec", 0.75, wl_fleet_incast_1000_soa_ms},
     {"fleet_incast_1000_naive", "ms/simsec", 0.75, wl_fleet_incast_1000_naive_ms},
+    {"dctcp_incast_100", "ns/event", 0.75, wl_dctcp_incast_100_ns},
+    {"policed_bbr_40mbps", "ns/event", 0.75, wl_policed_bbr_ns},
 };
 
 struct MetricResult {

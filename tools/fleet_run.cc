@@ -41,6 +41,12 @@ struct Options {
   std::int64_t buffer_bytes = 0;  // 0: topology default
   bool health = false;
   std::size_t record = 0;  // >0: black-box ring capacity (events)
+  std::int64_t ecn_bytes = 0;      // >0: ECN marking threshold (+ ECT senders)
+  double policer_rate_mbps = 0;    // >0: token-bucket policer on every hop
+  std::int64_t policer_burst = 30 * 1000;
+  bool policer_mark = false;       // policer CE-marks instead of dropping
+  double policer_start_s = 0;
+  double policer_stop_s = -1;      // <0: policer active to end of run
 };
 
 int usage(const char* argv0) {
@@ -51,7 +57,9 @@ int usage(const char* argv0) {
          "       [--warmup=S] [--mode=serial|sharded] [--threads=N]\n"
          "       [--sender-shards=N] [--churn] [--seed=N] [--events-only]\n"
          "       [--soa=0|1] [--stagger=MS] [--buffer=BYTES] [--health]\n"
-         "       [--record=EVENTS]\n\n"
+         "       [--record=EVENTS] [--ecn=BYTES] [--policer-rate=MBPS]\n"
+         "       [--policer-burst=BYTES] [--policer-mark]\n"
+         "       [--policer-start=S] [--policer-stop=S]\n\n"
          "Prints a deterministic JSON summary of the run on stdout (identical\n"
          "for serial and sharded modes at any thread count) and the\n"
          "host-dependent wall-clock stats on stderr.\n\n"
@@ -101,6 +109,18 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.buffer_bytes = std::atoll(v);
     } else if (const char* v = value("--record=")) {
       o.record = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--ecn=")) {
+      o.ecn_bytes = std::atoll(v);
+    } else if (const char* v = value("--policer-rate=")) {
+      o.policer_rate_mbps = std::atof(v);
+    } else if (const char* v = value("--policer-burst=")) {
+      o.policer_burst = std::atoll(v);
+    } else if (const char* v = value("--policer-start=")) {
+      o.policer_start_s = std::atof(v);
+    } else if (const char* v = value("--policer-stop=")) {
+      o.policer_stop_s = std::atof(v);
+    } else if (arg == "--policer-mark") {
+      o.policer_mark = true;
     } else if (arg == "--health") {
       o.health = true;
     } else if (arg == "--churn") {
@@ -133,6 +153,14 @@ int run(const Options& o) {
   spec.sender_shards = o.sender_shards;
   spec.churn.enabled = o.churn;
   if (o.buffer_bytes > 0) spec.buffer_bytes = o.buffer_bytes;
+  spec.ecn_threshold_bytes = o.ecn_bytes;
+  spec.policer_rate_mbps = o.policer_rate_mbps;
+  spec.policer_burst_bytes = o.policer_burst;
+  spec.policer_marks = o.policer_mark;
+  spec.policer_start = static_cast<SimTime>(o.policer_start_s * 1e6);
+  spec.policer_stop = o.policer_stop_s < 0
+                          ? kSimTimeMax
+                          : static_cast<SimTime>(o.policer_stop_s * 1e6);
 
   FleetRunOptions run_opts;
   if (o.mode == "sharded") {
